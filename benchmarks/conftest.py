@@ -1,0 +1,22 @@
+"""Shared fixtures for the per-table/figure benchmark suite.
+
+The Workloads instance is process-wide: documents, encodings and
+protected forms are built once and reused by every bench.
+"""
+
+import pytest
+
+from repro.bench.workloads import Workloads
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return Workloads.shared()
+
+
+def print_experiment(title: str, data) -> None:
+    """Render an experiment table into the captured bench output."""
+    from repro.bench.experiments import render
+
+    print()
+    print(render(data, title=title))

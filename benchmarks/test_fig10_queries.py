@@ -1,0 +1,42 @@
+"""Fig. 10 — impact of queries: execution time vs result size.
+
+Paper's findings that must reproduce:
+
+* for every view, execution time decreases (linearly) as the query
+  gets more selective — time is linear in the result size;
+* the intercept is non-zero: even an empty result costs time, because
+  parts of the document must be analyzed before being skipped;
+* view selectivity orders the curves (doctor views above researcher
+  views above the secretary's, in result size).
+"""
+
+from conftest import print_experiment
+
+from repro.bench.experiments import fig10_queries, linear_fit
+
+
+def test_fig10_queries(workloads, benchmark):
+    data = benchmark.pedantic(
+        lambda: fig10_queries(workloads), rounds=1, iterations=1
+    )
+    print_experiment("Figure 10 - impact of queries", data)
+
+    for view, points in data["series"].items():
+        slope, intercept, r2 = linear_fit(points)
+        print(
+            "%s: time = %.4f * KB + %.3f  (r2=%.3f)"
+            % (view, slope, intercept, r2)
+        )
+        # Linearity (the paper's headline for this figure).
+        assert r2 > 0.97, view
+        # Time grows with result size.
+        assert slope > 0, view
+        # Non-zero intercept: skipping still costs analysis time.
+        assert intercept > 0, view
+
+    # More selective query -> smaller result -> lower time, per view.
+    for view, points in data["series"].items():
+        sizes = [p[0] for p in points]
+        times = [p[1] for p in points]
+        assert sizes == sorted(sizes), view
+        assert times == sorted(times), view

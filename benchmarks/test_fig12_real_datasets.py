@@ -1,0 +1,36 @@
+"""Fig. 12 — throughput on real datasets (KB/s), with and without
+integrity, against the LWB.
+
+Paper's findings that must reproduce:
+
+* the method handles very different document shapes, with a throughput
+  in the tens of KB/s on the smart-card context (55-85 KB/s in the
+  paper, against 16-128 KB/s xDSL links of the time);
+* LWB throughput sits above TCSBR for every dataset;
+* integrity checking costs a moderate, uniform slowdown.
+"""
+
+from conftest import print_experiment
+
+from repro.bench.experiments import fig12_real_datasets
+
+
+def test_fig12_real_datasets(workloads, benchmark):
+    data = benchmark.pedantic(
+        lambda: fig12_real_datasets(workloads), rounds=1, iterations=1
+    )
+    print_experiment("Figure 12 - performance on real datasets", data)
+    measured = data["measured"]
+
+    for label, entry in measured.items():
+        # LWB above TCSBR, both with and without integrity.
+        assert entry["lwb-noint"] >= entry["tcsbr-noint"], label
+        assert entry["lwb-int"] >= entry["tcsbr-int"], label
+        # Integrity costs something but does not collapse throughput.
+        assert entry["tcsbr-int"] < entry["tcsbr-noint"], label
+        assert entry["tcsbr-int"] > entry["tcsbr-noint"] / 4, label
+
+    # Tens of KB/s on the smart-card context for the document-wide
+    # random policies (the paper's 55-85 KB/s band, scaled workloads).
+    for label in ["sigmod", "wsu"]:
+        assert 20 < measured[label]["tcsbr-noint"] < 200, label

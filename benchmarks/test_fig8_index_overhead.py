@@ -1,0 +1,49 @@
+"""Fig. 8 — Skip-index storage overhead (struct/text %) per encoding.
+
+Paper's qualitative findings that must reproduce:
+
+* TC drastically reduces the structure size in all datasets;
+* TCS adds 50-150 % on top of TC; TCSB is even more expensive,
+  especially on Treebank (250 distinct tags);
+* TCSBR (the Skip index) drastically reduces the TCSB overhead and
+  comes back near TC — even below it for Sigmod in the paper.
+"""
+
+from conftest import print_experiment
+
+from repro.bench.experiments import fig8_index_overhead
+from repro.skipindex.variants import size_tcsbr
+
+
+def test_fig8_index_overhead(workloads, benchmark):
+    data = benchmark.pedantic(
+        lambda: fig8_index_overhead(workloads), rounds=1, iterations=1
+    )
+    print_experiment("Figure 8 - index storage overhead", data)
+    measured = data["measured"]
+
+    for document, ratios in measured.items():
+        # TC drastically smaller than NC.
+        assert ratios["TC"] < ratios["NC"] / 2.5, document
+        # Subtree sizes cost extra on top of TC.
+        assert ratios["TCS"] > ratios["TC"], document
+        # Flat bitmaps cost extra on top of TCS.
+        assert ratios["TCSB"] > ratios["TCS"], document
+        # The recursive encoding collapses the bitmap overhead.
+        assert ratios["TCSBR"] < ratios["TCSB"], document
+
+    # Treebank's 250-tag alphabet makes TCSB explode (254 % in the
+    # paper) and TCSBR recover most of it.
+    assert measured["treebank"]["TCSB"] > 3 * measured["treebank"]["TCS"]
+    assert measured["treebank"]["TCSBR"] < measured["treebank"]["TCSB"] / 4
+
+    # TCSBR lands in TC's neighbourhood (the paper's headline claim).
+    for document, ratios in measured.items():
+        assert ratios["TCSBR"] < 2.0 * ratios["TC"], document
+
+
+def test_fig8_encoder_throughput(workloads, benchmark):
+    """Time the real TCSBR encoder on the Hospital document."""
+    doc = workloads.document("hospital")
+    stats = benchmark.pedantic(lambda: size_tcsbr(doc), rounds=1, iterations=1)
+    assert stats.total_bytes > 0

@@ -1,0 +1,41 @@
+"""Table 1 — communication and decryption costs per platform context.
+
+The table itself is a set of model constants; the benchmark times the
+cost-model conversion and sanity-checks the constants against the
+paper's figures.
+"""
+
+from conftest import print_experiment
+
+from repro.bench.experiments import table1_costs
+from repro.metrics import Meter
+from repro.soe.costmodel import CONTEXTS, CostModel
+
+
+def test_table1_costs(benchmark):
+    data = table1_costs()
+    print_experiment("Table 1 - communication and decryption costs", data)
+
+    meter = Meter()
+    meter.bytes_transferred = 1_000_000
+    meter.bytes_decrypted = 1_000_000
+    meter.token_ops = 10_000
+    model = CostModel(CONTEXTS["smartcard"])
+
+    def kernel():
+        return model.breakdown(meter).total
+
+    total = benchmark(kernel)
+    # 1 MB at 0.5 MB/s + 1 MB at 0.15 MB/s dominates: ~8.7 s simulated.
+    assert 8.0 < total < 9.5
+
+
+def test_contexts_match_paper():
+    card = CONTEXTS["smartcard"]
+    assert card.communication_bps == 0.5e6
+    assert card.decryption_bps == 0.15e6
+    internet = CONTEXTS["sw-internet"]
+    assert internet.communication_bps == 0.1e6
+    assert internet.decryption_bps == 1.2e6
+    lan = CONTEXTS["sw-lan"]
+    assert lan.communication_bps == 10e6

@@ -1,0 +1,39 @@
+"""Table 2 — characteristics of the four benchmark documents.
+
+Absolute sizes are scaled down (pure-Python pipeline); the shape
+statistics the paper's effects depend on (depth profile, tag alphabet,
+text share) must match Table 2.
+"""
+
+from conftest import print_experiment
+
+from repro.bench.experiments import table2_documents
+
+
+def test_table2_documents(workloads, benchmark):
+    data = benchmark.pedantic(
+        lambda: table2_documents(workloads), rounds=1, iterations=1
+    )
+    print_experiment("Table 2 - document characteristics", data)
+    rows = {row[0]: row for row in data["rows"]}
+
+    # Shape assertions mirroring the paper's Table 2.
+    assert rows["wsu"][3] <= 4  # max depth
+    assert 15 <= rows["wsu"][5] <= 25  # distinct tags
+    assert rows["sigmod"][3] == 6
+    assert rows["sigmod"][5] == 11
+    assert rows["treebank"][3] >= 30
+    assert rows["treebank"][5] >= 250
+    assert rows["hospital"][3] in (6, 7, 8)
+
+
+def test_wsu_is_structure_heavy(workloads):
+    doc = workloads.document("wsu")
+    # WSU: a large number of very small elements (Table 2: 74557
+    # elements for 210 KB of text, under 3 bytes of text per element).
+    assert doc.text_size() / doc.count_elements() < 6
+
+
+def test_treebank_is_text_heavy(workloads):
+    doc = workloads.document("treebank")
+    assert doc.text_size() / doc.count_elements() > 4

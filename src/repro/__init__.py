@@ -1,0 +1,73 @@
+"""repro — Client-Based Access Control Management for XML documents.
+
+A faithful, full-system reproduction of Bouganim, Dang Ngoc & Pucheral
+(VLDB 2004 / INRIA RR-5282): a streaming evaluator of XPath-based access
+control rules running inside a simulated Secure Operating Environment
+(smart card), with a Skip index over compressed encrypted XML, pending-
+predicate management and Merkle-tree random integrity checking.
+
+Quickstart::
+
+    from repro import AccessRule, Policy, authorized_view
+    from repro.xmlkit import parse_document
+
+    doc = parse_document("<folder><admin>id</admin><acts>x</acts></folder>")
+    policy = Policy([AccessRule("+", "//admin")], subject="secretary")
+    view = authorized_view(doc, policy)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from typing import List, Optional, Union
+
+from repro.accesscontrol.evaluator import StreamingEvaluator, evaluate_events
+from repro.accesscontrol.model import (
+    DENY,
+    PENDING,
+    PERMIT,
+    AccessRule,
+    Policy,
+    make_policy,
+    negative,
+    positive,
+)
+from repro.accesscontrol.reference import reference_authorized_view
+from repro.metrics import Meter
+from repro.xmlkit.dom import Node
+from repro.xmlkit.events import Event, events_to_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessRule",
+    "Policy",
+    "make_policy",
+    "positive",
+    "negative",
+    "PERMIT",
+    "DENY",
+    "PENDING",
+    "StreamingEvaluator",
+    "evaluate_events",
+    "reference_authorized_view",
+    "authorized_view",
+    "Meter",
+    "__version__",
+]
+
+
+def authorized_view(
+    document: Union[Node, List[Event]],
+    policy: Policy,
+    query: Optional[str] = None,
+    with_index: bool = True,
+) -> List[Event]:
+    """Authorized view of ``document`` under ``policy`` (streaming path).
+
+    ``document`` is a DOM tree or an event list; the result is an event
+    stream (use :func:`repro.xmlkit.events.events_to_tree` or
+    :func:`repro.xmlkit.serialize_events` to materialize it).
+    """
+    events = list(document.iter_events()) if isinstance(document, Node) else document
+    return evaluate_events(events, policy, query=query, with_index=with_index)

@@ -1,0 +1,166 @@
+"""Authorization Stack and conflict resolution (Section 3.2, Fig. 4).
+
+The Authorization Stack registers, per document depth, the rule
+instances whose navigational final state was reached at that depth: the
+instance's scope covers the element and its whole subtree, bounded by
+the time the entry remains on the stack.
+
+``decide`` implements the conflict-resolution algorithm reconstructed in
+DESIGN.md Section 4: the bottom of the stack holds an implicit
+negative-active rule (closed policy); within a level *Denial Takes
+Precedence*; across levels *Most Specific Object Takes Precedence*.  The
+algorithm is *stable*: it returns ``PERMIT``/``DENY`` only when the
+outcome cannot change whichever way pending predicates resolve, and
+``PENDING`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.accesscontrol.conditions import (
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    Condition,
+    RuleInstance,
+)
+from repro.accesscontrol.model import DENY, PENDING, PERMIT
+
+
+def combine_level(below: int, statuses: Sequence[Tuple[bool, int]]) -> int:
+    """Combine the decision from lower levels with one level's statuses.
+
+    ``statuses`` is a list of ``(is_positive, state)`` pairs where state
+    is the rule instance's three-valued activity (TRUE = active,
+    UNKNOWN = pending, FALSE = dead/ignored).
+    """
+    has_pos_active = False
+    has_pos_pending = False
+    has_neg_pending = False
+    for is_positive, state in statuses:
+        if state == FALSE:
+            continue  # dead instance: the rule never applied here
+        if is_positive:
+            if state == TRUE:
+                has_pos_active = True
+            else:
+                has_pos_pending = True
+        else:
+            if state == TRUE:
+                return DENY  # negative-active: denial takes precedence
+            has_neg_pending = True
+    if has_neg_pending:
+        if has_pos_active or has_pos_pending:
+            return PENDING  # conflict at the most specific level
+        return DENY if below == DENY else PENDING
+    if has_pos_active:
+        return PERMIT
+    if has_pos_pending:
+        return PERMIT if below == PERMIT else PENDING
+    return below
+
+
+def decide(levels: Sequence[Sequence[RuleInstance]]) -> int:
+    """Run conflict resolution bottom-up over stack ``levels``.
+
+    ``levels[0]`` is the outermost (least specific) level.  The closed
+    policy supplies the implicit DENY below ``levels[0]``.
+    """
+    decision = DENY
+    for level in levels:
+        if not level:
+            continue
+        statuses = [
+            (instance.rule.is_positive, instance.state()) for instance in level
+        ]
+        decision = combine_level(decision, statuses)
+    return decision
+
+
+class AccessSnapshot(Condition):
+    """A frozen view of the Authorization Stack for one document node.
+
+    The entry sets per level are fixed at node-open time (no rule
+    instance covering the node can be pushed later); only the three-
+    valued states of the referenced instances evolve, monotonically from
+    UNKNOWN to TRUE/FALSE.  Once :meth:`state` returns PERMIT or DENY the
+    answer is final (see :func:`combine_level`), so the snapshot caches
+    decided outcomes.
+    """
+
+    __slots__ = ("levels", "_decided")
+
+    def __init__(self, levels: Tuple[Tuple[RuleInstance, ...], ...]):
+        self.levels = levels
+        self._decided: Optional[int] = None
+
+    def state(self) -> int:
+        if self._decided is not None:
+            return self._decided
+        decision = decide(self.levels)
+        if decision != PENDING:
+            self._decided = decision
+            return decision
+        return UNKNOWN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AccessSnapshot(%d levels)" % len(self.levels)
+
+
+class AuthorizationStack:
+    """Rule instances registered per document depth.
+
+    ``levels[d]`` holds the instances pushed when elements at depth ``d``
+    reached a navigational final state.  Level 0 is the implicit closed
+    policy and stays empty.
+    """
+
+    def __init__(self):
+        self.levels: List[List[RuleInstance]] = [[]]
+        self._version = 0
+        self._snapshot_cache: Optional[Tuple[int, AccessSnapshot]] = None
+        self.peak_entries = 0
+        self.push_count = 0
+
+    def open_level(self, depth: int) -> None:
+        """Enter an element at ``depth`` (levels list grows as needed)."""
+        while len(self.levels) <= depth:
+            self.levels.append([])
+
+    def push(self, depth: int, instance: RuleInstance) -> None:
+        """Register ``instance`` at ``depth`` (nav final state reached)."""
+        self.open_level(depth)
+        self.levels[depth].append(instance)
+        self.push_count += 1
+        self._version += 1
+        total = sum(len(level) for level in self.levels)
+        if total > self.peak_entries:
+            self.peak_entries = total
+
+    def close_level(self, depth: int) -> None:
+        """Leave the element at ``depth``: its entries go out of scope."""
+        if depth < len(self.levels):
+            changed = any(self.levels[d] for d in range(depth, len(self.levels)))
+            del self.levels[depth:]
+            if changed:
+                self._version += 1
+
+    def snapshot(self) -> AccessSnapshot:
+        """Frozen condition view of the current stack (cached per
+        version: cheap when many sibling nodes share the same stack)."""
+        cache = self._snapshot_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        snapshot = AccessSnapshot(
+            tuple(tuple(level) for level in self.levels[1:] if level)
+        )
+        self._snapshot_cache = (self._version, snapshot)
+        return snapshot
+
+    def current_decision(self) -> int:
+        """Three-valued decision for the current node (DecideNode)."""
+        return decide(self.levels[1:])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AuthorizationStack(%d levels)" % (len(self.levels) - 1)

@@ -1,0 +1,247 @@
+"""Three-valued conditions over predicate instances.
+
+Pending-predicate management (Section 5) hinges on delivery *conditions*:
+"condition is the logical expression conditioning the delivery of the
+element/subtree".  We realize conditions as a small three-valued
+(true / false / unknown) expression algebra whose atoms are *predicate
+instances*:
+
+* a :class:`PredicateInstance` is created when a navigational token
+  enters a state anchoring a predicate chain, at a given document depth
+  (the *rule instance* discipline of Section 3.1);
+* it becomes **true** when some witness element completes the predicate
+  chain (and its comparison holds).  A witness may itself carry a
+  residual condition (nested predicates, or — for queries — the access
+  decision of the witness, since query predicates are evaluated against
+  the *authorized view*);
+* it becomes **false** when its *window* (the subtree of the anchor
+  element) closes with no true witness.
+
+Because every window closes by end of document, every condition is
+decided once parsing completes — which is what guarantees that all
+pending parts are eventually delivered or discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.accesscontrol.model import DENY, PENDING, PERMIT
+
+TRUE = PERMIT
+FALSE = DENY
+UNKNOWN = PENDING
+
+
+class Condition:
+    """Base class: anything exposing a three-valued ``state()``."""
+
+    __slots__ = ()
+
+    def state(self) -> int:
+        raise NotImplementedError
+
+    def decided(self) -> bool:
+        return self.state() != UNKNOWN
+
+
+class ConstCondition(Condition):
+    """A constant condition (already-decided nodes)."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: int):
+        self._state = state
+
+    def state(self) -> int:
+        return self._state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Const(%d)" % self._state
+
+
+ALWAYS = ConstCondition(TRUE)
+NEVER = ConstCondition(FALSE)
+
+
+class PredicateInstance(Condition):
+    """One runtime instance of a predicate chain, anchored at ``depth``.
+
+    The instance collects *witnesses*: conditions attached by predicate
+    tokens reaching the chain's final state.  A plain (unconditional)
+    witness satisfies the instance immediately — the paper's
+    optimization of dropping further evaluation of a satisfied predicate
+    in its subtree (Fig. 3.c, step 3) keys off :meth:`settled_true`.
+    """
+
+    __slots__ = ("rule_key", "spec_id", "depth", "_satisfied", "_closed", "_witnesses")
+
+    def __init__(self, rule_key: str, spec_id: int, depth: int):
+        self.rule_key = rule_key
+        self.spec_id = spec_id
+        self.depth = depth
+        self._satisfied = False
+        self._closed = False
+        self._witnesses: List[Condition] = []
+
+    # ------------------------------------------------------------------
+    def mark_satisfied(self) -> None:
+        """Record an unconditional witness."""
+        self._satisfied = True
+        self._witnesses = []
+
+    def add_witness(self, condition: Condition) -> None:
+        """Record a conditional witness (nested predicates / query view)."""
+        if self._satisfied:
+            return
+        state = condition.state()
+        if state == TRUE:
+            self.mark_satisfied()
+        elif state != FALSE:
+            self._witnesses.append(condition)
+
+    def close_window(self) -> None:
+        """The anchor element's subtree ended; no further witnesses."""
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def settled_true(self) -> bool:
+        """True as soon as an unconditional witness arrived (used to
+        suspend predicate tokens of this instance)."""
+        return self._satisfied
+
+    def state(self) -> int:
+        if self._satisfied:
+            return TRUE
+        pending = False
+        for witness in self._witnesses:
+            witness_state = witness.state()
+            if witness_state == TRUE:
+                self._satisfied = True
+                return TRUE
+            if witness_state == UNKNOWN:
+                pending = True
+        if pending:
+            return UNKNOWN
+        return FALSE if self._closed else UNKNOWN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PredInst(%s#%d@%d,%s)" % (
+            self.rule_key,
+            self.spec_id,
+            self.depth,
+            {TRUE: "T", FALSE: "F", UNKNOWN: "?"}[self.state()],
+        )
+
+
+class AndCondition(Condition):
+    """Conjunction; true iff all parts true, false if any part false."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Condition]):
+        self.parts: Tuple[Condition, ...] = tuple(parts)
+
+    def state(self) -> int:
+        pending = False
+        for part in self.parts:
+            part_state = part.state()
+            if part_state == FALSE:
+                return FALSE
+            if part_state == UNKNOWN:
+                pending = True
+        return UNKNOWN if pending else TRUE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "And(%r)" % (list(self.parts),)
+
+
+class OrCondition(Condition):
+    """Disjunction; true if any part true, false iff all parts false."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Condition]):
+        self.parts: Tuple[Condition, ...] = tuple(parts)
+
+    def state(self) -> int:
+        pending = False
+        for part in self.parts:
+            part_state = part.state()
+            if part_state == TRUE:
+                return TRUE
+            if part_state == UNKNOWN:
+                pending = True
+        return UNKNOWN if pending else FALSE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Or(%r)" % (list(self.parts),)
+
+
+def and_condition(parts: Iterable[Condition]) -> Condition:
+    """Build a conjunction, collapsing trivial cases."""
+    remaining: List[Condition] = []
+    for part in parts:
+        state = part.state()
+        if state == FALSE:
+            return NEVER
+        if state == TRUE:
+            continue
+        remaining.append(part)
+    if not remaining:
+        return ALWAYS
+    if len(remaining) == 1:
+        return remaining[0]
+    return AndCondition(remaining)
+
+
+def or_condition(parts: Iterable[Condition]) -> Condition:
+    """Build a disjunction, collapsing trivial cases."""
+    remaining: List[Condition] = []
+    for part in parts:
+        state = part.state()
+        if state == TRUE:
+            return ALWAYS
+        if state == FALSE:
+            continue
+        remaining.append(part)
+    if not remaining:
+        return NEVER
+    if len(remaining) == 1:
+        return remaining[0]
+    return OrCondition(remaining)
+
+
+class RuleInstance(Condition):
+    """One runtime instance of an access rule's scope.
+
+    Created when a navigational token reaches the rule's navigational
+    final state; ``preds`` are the predicate instances the token
+    accumulated along its path.  The instance is *active* (true) when
+    all of them are satisfied, *dead* (false) when any is definitely
+    false, *pending* otherwise.
+    """
+
+    __slots__ = ("rule", "preds", "depth")
+
+    def __init__(self, rule, preds: Tuple[PredicateInstance, ...], depth: int):
+        self.rule = rule
+        self.preds = preds
+        self.depth = depth
+
+    def state(self) -> int:
+        pending = False
+        for pred in self.preds:
+            pred_state = pred.state()
+            if pred_state == FALSE:
+                return FALSE
+            if pred_state == UNKNOWN:
+                pending = True
+        return UNKNOWN if pending else TRUE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RuleInst(%r@%d,%s)" % (
+            self.rule,
+            self.depth,
+            {TRUE: "T", FALSE: "F", UNKNOWN: "?"}[self.state()],
+        )

@@ -1,0 +1,274 @@
+"""Pending-part buffering and result reassembly (Section 5).
+
+An element is *pending* when its delivery depends on a pending rule.
+The paper detects pending elements/subtrees, leaves them aside (in the
+terminal's memory — the SOE cannot buffer them) and reassembles the
+relevant parts at the right place in the final result, preserving
+parent/sibling relationships via anchors in a Pending Stack.
+
+Our realization keeps the same contract with a simpler bookkeeping: the
+result is built as a condition-annotated tree held by the (untrusted)
+terminal.  Every node carries the delivery :class:`Condition` computed
+by the evaluator at its open event; text is attached to its element;
+whole *skipped pending subtrees* are represented by a
+:class:`DeferredSubtree` carrying a fetch callback (Section 5's "read
+back from the terminal") so their bytes are decrypted only if the
+condition resolves to true — never read and analyzed twice.  Positions
+are inherently preserved because deferred items sit at their original
+rank among the parent's children: the paper's anchor arithmetic
+collapses to list order.
+
+Reassembly (:meth:`ResultBuilder.finalize`) renders the tree once every
+condition is decided, applying the *Structural* rule: a node appears if
+its own condition is true or if any descendant appears (a denied node's
+tag may then be replaced by a dummy value).
+
+For streaming consumers, :meth:`ResultBuilder.drain_ready` emits the
+maximal decided prefix of the result while parsing is in progress —
+the paper's low-latency asynchronous delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.accesscontrol.conditions import (
+    ALWAYS,
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    Condition,
+)
+from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
+
+FetchCallback = Callable[[], Sequence[Event]]
+
+
+class DeferredSubtree:
+    """A skipped pending subtree: delivered wholesale iff ``condition``
+    resolves true, fetched (read back and decrypted) only then."""
+
+    __slots__ = ("condition", "fetch")
+
+    def __init__(self, condition: Condition, fetch: FetchCallback):
+        self.condition = condition
+        self.fetch = fetch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DeferredSubtree(%r)" % (self.condition,)
+
+
+class ResultNode:
+    """A node of the condition-annotated result tree."""
+
+    __slots__ = ("tag", "condition", "children", "flushed", "open_emitted")
+
+    def __init__(self, tag: str, condition: Condition):
+        self.tag = tag
+        self.condition = condition
+        self.children: List[Union["ResultNode", str, DeferredSubtree]] = []
+        self.flushed = 0  # children already emitted by drain_ready
+        self.open_emitted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ResultNode(%r, %d children)" % (self.tag, len(self.children))
+
+
+class ResultBuilder:
+    """Builds the authorized view while the evaluator parses.
+
+    The evaluator drives it with :meth:`open`, :meth:`text`,
+    :meth:`add_deferred` and :meth:`close`; once the document ends,
+    :meth:`finalize` returns the (rest of the) authorized view as a list
+    of events.
+    """
+
+    def __init__(self, dummy_tag: Optional[str] = None):
+        self.dummy_tag = dummy_tag
+        self._root = ResultNode("", ALWAYS)  # virtual super-root
+        self._root.open_emitted = True
+        self._stack: List[ResultNode] = [self._root]
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Construction interface (called by the evaluator)
+    # ------------------------------------------------------------------
+    def open(self, tag: str, condition: Condition) -> ResultNode:
+        """Enter an element whose delivery condition is ``condition``."""
+        node = ResultNode(tag, condition)
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+        return node
+
+    def text(self, value: str) -> None:
+        """Text content of the current element (delivered with it)."""
+        node = self._stack[-1]
+        if node.condition.state() != FALSE:
+            node.children.append(value)
+
+    def add_deferred(
+        self, condition: Condition, fetch: FetchCallback
+    ) -> Optional[DeferredSubtree]:
+        """Register a skipped pending subtree at the current position.
+
+        Returns the deferred item (or ``None`` when the condition is
+        already false) so the evaluator can resolve it eagerly — the
+        paper externalizes pending subtrees "at the time the logical
+        expression conditioning their delivery is evaluated to true".
+        """
+        if condition.state() == FALSE:
+            return None
+        deferred = DeferredSubtree(condition, fetch)
+        self._stack[-1].children.append(deferred)
+        return deferred
+
+    def close(self) -> None:
+        """Leave the current element."""
+        if len(self._stack) <= 1:
+            raise IndexError("close without open in ResultBuilder")
+        self._stack.pop()
+
+    def current_condition(self) -> Condition:
+        """Delivery condition of the innermost open element (the virtual
+        root's ALWAYS when no element is open)."""
+        return self._stack[-1].condition
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def finalize(self) -> List[Event]:
+        """Render whatever was not already drained; the document must be
+        fully parsed (every condition decided, every element closed)."""
+        if len(self._stack) != 1:
+            raise ValueError("finalize() before all elements were closed")
+        out: List[Event] = []
+        done = self._drain(self._root, out, final=True)
+        if not done:  # pragma: no cover - _drain(final=True) raises instead
+            raise ValueError("finalize() left undecided parts")
+        self._finalized = True
+        return out
+
+    def drain_ready(self) -> List[Event]:
+        """Emit the maximal decided prefix of the result so far; emitted
+        parts are dropped from the buffer (freeing terminal memory)."""
+        out: List[Event] = []
+        self._drain(self._root, out, final=False)
+        return out
+
+    # ------------------------------------------------------------------
+    def _drain(self, node: ResultNode, out: List[Event], final: bool) -> bool:
+        """Emit ``node``'s pending output; return True when the node is
+        completely finished (including its close tag)."""
+        children = node.children
+        while node.flushed < len(children):
+            child = children[node.flushed]
+            if isinstance(child, str):
+                # Text is only buffered under nodes not decided FALSE;
+                # it is emitted only when the node itself is delivered,
+                # and drained-into nodes always have a TRUE condition.
+                out.append(Event(TEXT, child))
+                children[node.flushed] = ""
+                node.flushed += 1
+                continue
+            if isinstance(child, DeferredSubtree):
+                state = child.condition.state()
+                if state == UNKNOWN:
+                    if final:
+                        raise ValueError("undecided deferred subtree at finalize")
+                    return False
+                if state == TRUE:
+                    out.extend(child.fetch())
+                children[node.flushed] = ""
+                node.flushed += 1
+                continue
+            # ResultNode child --------------------------------------------------
+            if child.open_emitted:
+                if not self._drain(child, out, final):
+                    return False
+                node.flushed += 1
+                continue
+            still_open = self._is_open(child)
+            state = child.condition.state()
+            if state == UNKNOWN:
+                if final:
+                    raise ValueError("undecided condition for %r" % child.tag)
+                return False
+            if still_open:
+                if state != TRUE:
+                    # Structural delivery cannot be anticipated while the
+                    # element is still collecting children.
+                    return False
+                out.append(Event(OPEN, child.tag))
+                child.open_emitted = True
+                self._drain(child, out, final)
+                return False  # an open element is never finished
+            # Fully closed subtree: render if every condition inside is
+            # decided, otherwise stop (or fail when finalizing).
+            if not final and not self._subtree_decided(child):
+                return False
+            self._render(child, out)
+            children[node.flushed] = ""
+            node.flushed += 1
+        if node is self._root:
+            return True
+        if self._is_open(node):
+            return False
+        if node.open_emitted:
+            out.append(Event(CLOSE, node.tag))
+            node.open_emitted = False
+        return True
+
+    def _is_open(self, node: ResultNode) -> bool:
+        for frame in self._stack:
+            if frame is node:
+                return True
+        return False
+
+    def _subtree_decided(self, node: ResultNode) -> bool:
+        if node.condition.state() == UNKNOWN:
+            return False
+        for child in node.children:
+            if isinstance(child, ResultNode):
+                if not self._subtree_decided(child):
+                    return False
+            elif isinstance(child, DeferredSubtree):
+                if child.condition.state() == UNKNOWN:
+                    return False
+        return True
+
+    def _render(self, node: ResultNode, out: List[Event]) -> bool:
+        """Render a fully decided, fully closed subtree.  Returns True if
+        anything was emitted (used for the Structural rule)."""
+        state = node.condition.state()
+        if state == UNKNOWN:
+            raise ValueError("undecided condition for element %r" % node.tag)
+        own = state == TRUE
+        child_events: List[Event] = []
+        any_child = False
+        for child in node.children:
+            if isinstance(child, str):
+                if own and child:
+                    child_events.append(Event(TEXT, child))
+            elif isinstance(child, ResultNode):
+                if self._render(child, child_events):
+                    any_child = True
+            elif isinstance(child, DeferredSubtree):
+                child_state = child.condition.state()
+                if child_state == UNKNOWN:
+                    raise ValueError("undecided deferred subtree")
+                if child_state == TRUE:
+                    child_events.extend(child.fetch())
+                    any_child = True
+        if own:
+            out.append(Event(OPEN, node.tag))
+            out.extend(child_events)
+            out.append(Event(CLOSE, node.tag))
+            return True
+        if any_child:
+            # Structural rule: the path to a granted node is granted too.
+            tag = self.dummy_tag if self.dummy_tag is not None else node.tag
+            out.append(Event(OPEN, tag))
+            out.extend(child_events)
+            out.append(Event(CLOSE, tag))
+            return True
+        return False

@@ -1,0 +1,208 @@
+"""Non-streaming reference evaluator (testing oracle).
+
+This module implements the access-control model of Section 2 *directly*
+on a materialized DOM: each rule's XPath is matched against the tree,
+per-node decisions are computed by explicit conflict resolution along
+the root path, queries are matched against the authorized view, and the
+result is rendered with the Structural rule.
+
+It is deliberately simple and slow — a specification in code.  The
+streaming evaluator is differential-tested against it on randomized
+documents and policies; any divergence is a bug in one of the two.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from repro.accesscontrol.model import DENY, PERMIT, Policy
+from repro.xmlkit.dom import Node
+from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
+from repro.xpath.ast import (
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    Path,
+    Predicate,
+    Step,
+)
+from repro.xpath.parser import parse_xpath
+
+WitnessFilter = Optional[Callable[[Node], bool]]
+
+
+class _DocumentRoot(Node):
+    """Virtual node above the document root (the XPath document node)."""
+
+    def __init__(self, root: Node):
+        super().__init__("", [root])
+
+
+def match_path(
+    root: Node, path: Path, witness_filter: WitnessFilter = None
+) -> Set[Node]:
+    """Nodes of ``root``'s tree matched by the absolute ``path``.
+
+    ``witness_filter``, when given, restricts *predicate witnesses* to
+    accepted nodes — used to evaluate query predicates against the
+    authorized view ("predicates cannot be expressed on denied
+    elements", Section 2).
+    """
+    contexts: Set[Node] = {_DocumentRoot(root)}
+    return _eval_steps(contexts, path.steps, witness_filter)
+
+
+def _eval_steps(
+    contexts: Set[Node],
+    steps: Sequence[Step],
+    witness_filter: WitnessFilter,
+) -> Set[Node]:
+    current = contexts
+    for step in steps:
+        gathered: Set[Node] = set()
+        if step.is_self():
+            gathered = set(current)
+        elif step.axis == AXIS_CHILD:
+            for context in current:
+                for child in context.element_children():
+                    if step.matches_tag(child.tag):
+                        gathered.add(child)
+        else:  # descendant axis
+            for context in current:
+                for descendant in context.descendants():
+                    if descendant is context:
+                        continue
+                    if step.matches_tag(descendant.tag):
+                        gathered.add(descendant)
+        if step.predicates:
+            gathered = {
+                node
+                for node in gathered
+                if all(
+                    _eval_predicate(node, predicate, witness_filter)
+                    for predicate in step.predicates
+                )
+            }
+        current = gathered
+        if not current:
+            break
+    return current
+
+
+def _eval_predicate(
+    node: Node, predicate: Predicate, witness_filter: WitnessFilter
+) -> bool:
+    witnesses = _eval_steps({node}, predicate.path.steps, witness_filter)
+    if witness_filter is not None:
+        witnesses = {w for w in witnesses if isinstance(w, _DocumentRoot) or witness_filter(w)}
+    if predicate.comparison is None:
+        return bool(witnesses)
+    comparison = predicate.comparison
+    return any(comparison.matches(witness.text()) for witness in witnesses)
+
+
+def access_decisions(root: Node, policy: Policy) -> Dict[int, int]:
+    """Per-node PERMIT/DENY decision (by ``id(node)``) for the tree.
+
+    Implements the closed policy, rule propagation, Denial-Takes-
+    Precedence and Most-Specific-Object-Takes-Precedence.
+    """
+    matches: List[Set[Node]] = [
+        match_path(root, rule.object) for rule in policy.rules
+    ]
+    decisions: Dict[int, int] = {}
+
+    def visit(node: Node, inherited: int) -> None:
+        positive_here = False
+        negative_here = False
+        for rule, matched in zip(policy.rules, matches):
+            if node in matched:
+                if rule.is_negative:
+                    negative_here = True
+                else:
+                    positive_here = True
+        if negative_here:
+            decision = DENY  # denial takes precedence at the same object
+        elif positive_here:
+            decision = PERMIT
+        else:
+            decision = inherited  # most specific object takes precedence
+        decisions[id(node)] = decision
+        for child in node.element_children():
+            visit(child, decision)
+
+    visit(root, DENY)  # closed policy: the default is deny
+    return decisions
+
+
+def query_coverage(
+    root: Node,
+    query: Path,
+    decisions: Dict[int, int],
+) -> Set[int]:
+    """Ids of nodes inside some query match's subtree.
+
+    Query predicates are evaluated against the authorized view: only
+    PERMIT nodes can serve as witnesses.
+    """
+
+    def witness_ok(node: Node) -> bool:
+        return decisions.get(id(node), DENY) == PERMIT
+
+    matched = match_path(root, query, witness_filter=witness_ok)
+    covered: Set[int] = set()
+    for match in matched:
+        for descendant in match.descendants():
+            covered.add(id(descendant))
+    return covered
+
+
+def reference_authorized_view(
+    root: Node,
+    policy: Policy,
+    query: Union[str, Path, None] = None,
+) -> List[Event]:
+    """The authorized view (optionally intersected with ``query``) as an
+    event stream — the specification the streaming evaluator must meet.
+    """
+    decisions = access_decisions(root, policy)
+    covered: Optional[Set[int]] = None
+    if query is not None:
+        query_path = parse_xpath(query) if isinstance(query, str) else query
+        query_path = query_path.bind_user(policy.subject)
+        covered = query_coverage(root, query_path, decisions)
+
+    def delivered(node: Node) -> bool:
+        if decisions[id(node)] != PERMIT:
+            return False
+        if covered is not None and id(node) not in covered:
+            return False
+        return True
+
+    def render(node: Node, out: List[Event]) -> bool:
+        own = delivered(node)
+        child_events: List[Event] = []
+        any_child = False
+        for child in node.children:
+            if isinstance(child, str):
+                if own and child:
+                    child_events.append(Event(TEXT, child))
+            else:
+                if render(child, child_events):
+                    any_child = True
+        if own:
+            out.append(Event(OPEN, node.tag))
+            out.extend(child_events)
+            out.append(Event(CLOSE, node.tag))
+            return True
+        if any_child:
+            # Structural rule: the path to a granted node is granted too.
+            tag = policy.dummy_tag if policy.dummy_tag is not None else node.tag
+            out.append(Event(OPEN, tag))
+            out.extend(child_events)
+            out.append(Event(CLOSE, tag))
+            return True
+        return False
+
+    events: List[Event] = []
+    render(root, events)
+    return events

@@ -1,0 +1,219 @@
+"""Tokens and the Token Stack (Section 3.1).
+
+The navigation progress of all Access Rule Automata is memorized in a
+unique stack-based structure, the *Token Stack*: the top of the stack
+contains all tokens that can trigger a transition at the next incoming
+event; a frame is pushed at each open event and popped at each close
+event, giving backtracking for free.
+
+We distinguish *navigational tokens* (:class:`NavToken`) and *predicate
+tokens* (:class:`PredToken`).  Token proxies are labelled with the
+predicate instances created along their path — the paper's "rule
+instance" materialization that keeps unrelated ``//`` matches apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.accesscontrol.conditions import PredicateInstance
+from repro.xpath.ast import Comparison
+from repro.xpath.nfa import PredicateSpec
+
+
+class NavToken:
+    """A token progressing along a navigational path.
+
+    ``preds`` are the predicate instances spawned on the way; a rule
+    instance built from this token is active only when all of them are
+    satisfied.
+    """
+
+    __slots__ = ("automaton_index", "state_id", "preds")
+
+    def __init__(
+        self,
+        automaton_index: int,
+        state_id: int,
+        preds: Tuple[PredicateInstance, ...] = (),
+    ):
+        self.automaton_index = automaton_index
+        self.state_id = state_id
+        self.preds = preds
+
+    def key(self) -> tuple:
+        return (
+            self.automaton_index,
+            self.state_id,
+            tuple(id(p) for p in self.preds),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NavToken(a%d,s%d,%d preds)" % (
+            self.automaton_index,
+            self.state_id,
+            len(self.preds),
+        )
+
+
+class PredToken:
+    """A token progressing along a predicate chain.
+
+    ``instance`` is the predicate instance this token works for;
+    ``preds`` are *nested* predicate instances spawned inside the chain.
+    """
+
+    __slots__ = ("automaton_index", "spec", "state_id", "instance", "preds")
+
+    def __init__(
+        self,
+        automaton_index: int,
+        spec: PredicateSpec,
+        state_id: int,
+        instance: PredicateInstance,
+        preds: Tuple[PredicateInstance, ...] = (),
+    ):
+        self.automaton_index = automaton_index
+        self.spec = spec
+        self.state_id = state_id
+        self.instance = instance
+        self.preds = preds
+
+    def key(self) -> tuple:
+        return (
+            self.automaton_index,
+            self.spec.spec_id,
+            self.state_id,
+            id(self.instance),
+            tuple(id(p) for p in self.preds),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PredToken(a%d,spec%d,s%d)" % (
+            self.automaton_index,
+            self.spec.spec_id,
+            self.state_id,
+        )
+
+
+class TextListener:
+    """A predicate-final token awaiting the element's text content.
+
+    Created when a predicate chain ends with a comparison: the predicate
+    token reached the final state on the element's open event, but the
+    comparison can only be checked against the element's text, collected
+    until its close event.  ``needs_access`` marks query predicates,
+    whose witnesses must belong to the authorized view (Section 2).
+    """
+
+    __slots__ = ("instance", "comparison", "preds", "needs_access")
+
+    def __init__(
+        self,
+        instance: PredicateInstance,
+        comparison: Comparison,
+        preds: Tuple[PredicateInstance, ...],
+        needs_access: bool,
+    ):
+        self.instance = instance
+        self.comparison = comparison
+        self.preds = preds
+        self.needs_access = needs_access
+
+
+class Frame:
+    """One Token Stack level: the tokens active below one open element."""
+
+    __slots__ = (
+        "tag",
+        "nav",
+        "pred",
+        "_nav_keys",
+        "_pred_keys",
+        "listeners",
+        "text_parts",
+        "access_condition",
+    )
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.nav: List[NavToken] = []
+        self.pred: List[PredToken] = []
+        self._nav_keys: set = set()
+        self._pred_keys: set = set()
+        self.listeners: List[TextListener] = []
+        self.text_parts: List[str] = []
+        self.access_condition = None  # set by the evaluator at open time
+
+    def add_nav(self, token: NavToken) -> bool:
+        """Add a navigational token; returns False on duplicates."""
+        key = token.key()
+        if key in self._nav_keys:
+            return False
+        self._nav_keys.add(key)
+        self.nav.append(token)
+        return True
+
+    def add_pred(self, token: PredToken) -> bool:
+        """Add a predicate token; returns False on duplicates."""
+        key = token.key()
+        if key in self._pred_keys:
+            return False
+        self._pred_keys.add(key)
+        self.pred.append(token)
+        return True
+
+    def remove_tokens(self, keep: Callable[[object], bool]) -> int:
+        """Filter tokens in place (Skip-index filtering); returns the
+        number of discarded tokens."""
+        before = len(self.nav) + len(self.pred)
+        self.nav = [t for t in self.nav if keep(t)]
+        self.pred = [t for t in self.pred if keep(t)]
+        self._nav_keys = {t.key() for t in self.nav}
+        self._pred_keys = {t.key() for t in self.pred}
+        return before - (len(self.nav) + len(self.pred))
+
+    def is_empty(self) -> bool:
+        """No live tokens and no pending text listeners."""
+        return not self.nav and not self.pred and not self.listeners
+
+    def token_count(self) -> int:
+        return len(self.nav) + len(self.pred)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Frame(%r, %d nav, %d pred)" % (self.tag, len(self.nav), len(self.pred))
+
+
+class TokenStack:
+    """The Token Stack: a list of :class:`Frame`, one per open element,
+    plus the bottom frame holding the initial tokens."""
+
+    def __init__(self):
+        root = Frame("")
+        self.frames: List[Frame] = [root]
+        self.peak_depth = 1
+        self.peak_tokens = 0
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    def push(self, frame: Frame) -> None:
+        self.frames.append(frame)
+        if len(self.frames) > self.peak_depth:
+            self.peak_depth = len(self.frames)
+        count = frame.token_count()
+        if count > self.peak_tokens:
+            self.peak_tokens = count
+
+    def pop(self) -> Frame:
+        if len(self.frames) <= 1:
+            raise IndexError("cannot pop the initial Token Stack frame")
+        return self.frames.pop()
+
+    def depth(self) -> int:
+        """Document depth = number of open elements."""
+        return len(self.frames) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TokenStack(depth=%d)" % self.depth()

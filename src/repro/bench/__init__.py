@@ -1,0 +1,42 @@
+"""Benchmark harness: one experiment function per paper table/figure.
+
+:mod:`repro.bench.workloads` builds the benchmark-scale documents and
+policies once; :mod:`repro.bench.experiments` computes the rows/series
+of every table and figure (Table 1, Table 2, Fig. 8-12);
+:mod:`repro.bench.reporting` renders them as aligned text tables with
+the paper's reference numbers alongside.
+
+The ``benchmarks/`` directory contains one pytest-benchmark target per
+experiment; each prints its table and times a representative kernel.
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+or regenerate the EXPERIMENTS.md data with::
+
+    python -m repro.bench
+"""
+
+from repro.bench.experiments import (
+    fig8_index_overhead,
+    fig9_access_control,
+    fig10_queries,
+    fig11_integrity,
+    fig12_real_datasets,
+    table1_costs,
+    table2_documents,
+)
+from repro.bench.reporting import format_table
+from repro.bench.workloads import Workloads
+
+__all__ = [
+    "Workloads",
+    "table1_costs",
+    "table2_documents",
+    "fig8_index_overhead",
+    "fig9_access_control",
+    "fig10_queries",
+    "fig11_integrity",
+    "fig12_real_datasets",
+    "format_table",
+]

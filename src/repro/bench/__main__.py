@@ -1,0 +1,54 @@
+"""Run every experiment and print the paper-vs-measured tables.
+
+Usage::
+
+    python -m repro.bench            # all experiments
+    python -m repro.bench fig9 fig11 # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import (
+    fig8_index_overhead,
+    fig9_access_control,
+    fig10_queries,
+    fig11_integrity,
+    fig12_real_datasets,
+    render,
+    table1_costs,
+    table2_documents,
+)
+
+EXPERIMENTS = {
+    "table1": ("Table 1 - communication and decryption costs", table1_costs),
+    "table2": ("Table 2 - document characteristics", table2_documents),
+    "fig8": ("Figure 8 - index storage overhead", fig8_index_overhead),
+    "fig9": ("Figure 9 - access control overhead", fig9_access_control),
+    "fig10": ("Figure 10 - impact of queries", fig10_queries),
+    "fig11": ("Figure 11 - impact of integrity control", fig11_integrity),
+    "fig12": ("Figure 12 - performance on real datasets", fig12_real_datasets),
+}
+
+
+def main(argv) -> int:
+    selected = argv or list(EXPERIMENTS)
+    for key in selected:
+        if key not in EXPERIMENTS:
+            print("unknown experiment %r (choose from %s)" % (key, list(EXPERIMENTS)))
+            return 2
+    for key in selected:
+        title, fn = EXPERIMENTS[key]
+        start = time.time()
+        data = fn()
+        elapsed = time.time() - start
+        print()
+        print(render(data, title=title))
+        print("(computed in %.1fs)" % elapsed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table (markdown-compatible)."""
+    materialized: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(value))
+            else:
+                widths.append(len(value))
+
+    def line(values: Sequence[str]) -> str:
+        cells = [
+            value.ljust(widths[index]) for index, value in enumerate(values)
+        ]
+        return "| " + " | ".join(cells) + " |"
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in materialized:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def human_bytes(count: int) -> str:
+    """1234567 -> '1.2 MB' (decimal units, as in the paper)."""
+    if count >= 1_000_000:
+        return "%.1f MB" % (count / 1_000_000)
+    if count >= 1_000:
+        return "%.1f KB" % (count / 1_000)
+    return "%d B" % count

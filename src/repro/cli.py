@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Exposes the pipeline end to end::
+
+    python -m repro inspect  doc.xml
+    python -m repro encode   doc.xml doc.xskp
+    python -m repro protect  doc.xml doc.store --scheme ECB-MHT --key 00112233445566778899aabbccddeeff
+    python -m repro view     doc.store --key 001122... --rule "+://book" --rule "-://internal" [--query "//book[price < 20]"]
+    python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12]
+
+The protected store is a self-describing file: one JSON header line
+(scheme name, layout, plaintext size) followed by the raw terminal
+bytes.  The key never appears in the file — it travels via the secure
+channel (see :mod:`repro.soe.provisioning`), or here, the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.accesscontrol.model import AccessRule, Policy
+from repro.crypto.chunks import ChunkLayout
+from repro.crypto.integrity import SCHEMES, SecureDocument, make_scheme
+from repro.skipindex.encoder import encode_document
+from repro.skipindex.variants import encoding_report
+from repro.soe.costmodel import CONTEXTS
+from repro.soe.session import PreparedDocument, SecureSession
+from repro.skipindex.decoder import decode_document, EncodedDocument
+from repro.skipindex.decoder import read_header
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serializer import serialize_events
+
+STORE_MAGIC = "XPROT1"
+
+
+def _load_xml(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_document(handle.read())
+
+
+def _parse_key(text: Optional[str]) -> bytes:
+    if not text:
+        return b"\x00" * 16
+    key = bytes.fromhex(text)
+    if len(key) != 16:
+        raise SystemExit("key must be 16 bytes (32 hex characters)")
+    return key
+
+
+def _parse_rules(rule_args: List[str]) -> List[AccessRule]:
+    rules = []
+    for raw in rule_args:
+        if ":" not in raw or raw[0] not in "+-":
+            raise SystemExit(
+                "rule must look like '+://path' or '-://path', got %r" % raw
+            )
+        sign, _sep, expression = raw.partition(":")
+        rules.append(AccessRule(sign, expression))
+    return rules
+
+
+# ----------------------------------------------------------------------
+def cmd_inspect(args) -> int:
+    tree = _load_xml(args.document)
+    print("document statistics:")
+    print("  elements:      %d" % tree.count_elements())
+    print("  text nodes:    %d" % tree.count_text_nodes())
+    print("  text bytes:    %d" % tree.text_size())
+    print("  max depth:     %d" % tree.max_depth())
+    print("  avg depth:     %.2f" % tree.average_depth())
+    print("  distinct tags: %d" % len(tree.distinct_tags()))
+    print("encodings (structure/text %):")
+    for name, stats in encoding_report(tree).items():
+        print(
+            "  %-6s total=%8d bytes  struct/text=%6.1f%%"
+            % (name, stats.total_bytes, 100.0 * stats.struct_text_ratio())
+        )
+    return 0
+
+
+def cmd_encode(args) -> int:
+    tree = _load_xml(args.document)
+    encoded = encode_document(tree)
+    with open(args.output, "wb") as handle:
+        handle.write(encoded.data)
+    print(
+        "encoded %d elements into %d bytes (%d dictionary entries, "
+        "%d fixpoint rounds)"
+        % (
+            tree.count_elements(),
+            len(encoded.data),
+            len(encoded.dictionary),
+            encoded.stats.fixpoint_rounds,
+        )
+    )
+    return 0
+
+
+def cmd_decode(args) -> int:
+    with open(args.store, "rb") as handle:
+        data = handle.read()
+    dictionary, offset = read_header(data)
+    from repro.skipindex.encoder import EncodedDocument as _Enc
+    from repro.skipindex.encoder import EncodingStats
+
+    document = _Enc(data, dictionary, EncodingStats(), offset)
+    tree = decode_document(document)
+    from repro.xmlkit.serializer import serialize
+
+    sys.stdout.write(serialize(tree, indent=2))
+    return 0
+
+
+def cmd_protect(args) -> int:
+    tree = _load_xml(args.document)
+    key = _parse_key(args.key)
+    encoded = encode_document(tree)
+    scheme = make_scheme(args.scheme, key=key)
+    secure = scheme.protect(encoded.data)
+    header = json.dumps(
+        {
+            "magic": STORE_MAGIC,
+            "scheme": args.scheme,
+            "plaintext_size": secure.plaintext_size,
+            "chunk_size": scheme.layout.chunk_size,
+            "fragment_size": scheme.layout.fragment_size,
+        }
+    )
+    with open(args.output, "wb") as handle:
+        handle.write(header.encode("utf-8") + b"\n")
+        handle.write(bytes(secure.stored))
+    print(
+        "protected with %s: %d plaintext -> %d stored bytes"
+        % (args.scheme, secure.plaintext_size, secure.stored_size())
+    )
+    return 0
+
+
+def _load_store(path: str, key: bytes) -> PreparedDocument:
+    with open(path, "rb") as handle:
+        header_line = handle.readline()
+        stored = handle.read()
+    header = json.loads(header_line.decode("utf-8"))
+    if header.get("magic") != STORE_MAGIC:
+        raise SystemExit("not a repro protected store")
+    layout = ChunkLayout(
+        chunk_size=header["chunk_size"], fragment_size=header["fragment_size"]
+    )
+    scheme = make_scheme(header["scheme"], key=key, layout=layout)
+    secure = SecureDocument(scheme, stored, header["plaintext_size"])
+    # Recover the dictionary by reading the (decrypted) header region.
+    from repro.crypto.integrity import SecureBytes
+    from repro.metrics import Meter
+    from repro.skipindex.encoder import EncodingStats
+
+    probe = SecureBytes(scheme.reader(secure, Meter()))
+    dictionary, offset = read_header(probe)
+    encoded = EncodedDocument(b"", dictionary, EncodingStats(), offset)
+    return PreparedDocument(encoded, scheme, secure)
+
+
+def cmd_view(args) -> int:
+    key = _parse_key(args.key)
+    prepared = _load_store(args.store, key)
+    rules = _parse_rules(args.rule or [])
+    policy = Policy(rules, subject=args.subject or "", dummy_tag=args.dummy_tag)
+    session = SecureSession(
+        prepared,
+        policy,
+        query=args.query,
+        context=args.context,
+        use_skip_index=not args.brute_force,
+    )
+    result = session.run()
+    print(serialize_events(result.events))
+    if args.costs:
+        breakdown = result.breakdown
+        print(
+            "# simulated %.4f s on %s "
+            "(comm %.4f, dec %.4f, ac %.4f, integrity %.4f); "
+            "%d bytes in, %d bytes out, %d subtrees skipped"
+            % (
+                result.seconds,
+                session.context.name,
+                breakdown.communication,
+                breakdown.decryption,
+                breakdown.access_control,
+                breakdown.integrity,
+                result.meter.bytes_transferred,
+                result.meter.bytes_delivered,
+                result.meter.skipped_subtrees,
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.experiments)
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Client-based access control for XML documents "
+        "(Bouganim et al., VLDB 2004).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_inspect = sub.add_parser("inspect", help="document statistics + Fig. 8 row")
+    p_inspect.add_argument("document")
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_encode = sub.add_parser("encode", help="Skip-index encode a document")
+    p_encode.add_argument("document")
+    p_encode.add_argument("output")
+    p_encode.set_defaults(func=cmd_encode)
+
+    p_decode = sub.add_parser("decode", help="decode an unencrypted .xskp file")
+    p_decode.add_argument("store")
+    p_decode.set_defaults(func=cmd_decode)
+
+    p_protect = sub.add_parser("protect", help="encode + encrypt for the terminal")
+    p_protect.add_argument("document")
+    p_protect.add_argument("output")
+    p_protect.add_argument("--scheme", default="ECB-MHT", choices=sorted(SCHEMES))
+    p_protect.add_argument("--key", help="16-byte hex key")
+    p_protect.set_defaults(func=cmd_protect)
+
+    p_view = sub.add_parser("view", help="authorized view of a protected store")
+    p_view.add_argument("store")
+    p_view.add_argument("--key", help="16-byte hex key")
+    p_view.add_argument(
+        "--rule",
+        action="append",
+        help="access rule, e.g. '+://Folder/Admin' or '-://internal' "
+        "(repeatable)",
+    )
+    p_view.add_argument("--query", help="XPath query over the authorized view")
+    p_view.add_argument("--subject", help="binds the USER variable")
+    p_view.add_argument("--dummy-tag", help="rename denied ancestors to this tag")
+    p_view.add_argument("--context", default="smartcard", choices=sorted(CONTEXTS))
+    p_view.add_argument(
+        "--brute-force", action="store_true", help="disable the Skip index"
+    )
+    p_view.add_argument(
+        "--costs", action="store_true", help="print the cost report to stderr"
+    )
+    p_view.set_defaults(func=cmd_view)
+
+    p_bench = sub.add_parser("bench", help="run the paper's experiments")
+    p_bench.add_argument("experiments", nargs="*")
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

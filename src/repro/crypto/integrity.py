@@ -1,0 +1,501 @@
+"""Confidentiality + integrity schemes compared in Fig. 11.
+
+Four ways of protecting the encoded document at the untrusted terminal:
+
+* **ECB** — position-XOR ECB encryption only: confidentiality without
+  tamper resistance (the baseline of Fig. 11);
+* **CBC-SHA** — CBC encryption + SHA-1 digest of each chunk's
+  *plaintext*: the direct state-of-the-art combination.  Any access
+  forces the SOE to transfer and decrypt the whole chunk to recompute
+  the digest;
+* **CBC-SHAC** — same, but the digest covers the *ciphertext*: the SOE
+  still transfers the whole chunk but only decrypts the blocks it
+  needs;
+* **ECB-MHT** — the paper's proposal: position-XOR ECB + a Merkle hash
+  tree over the chunk's fragments (hashing the ciphertext).  The SOE
+  transfers only the fragments it reads plus the sibling hashes the
+  terminal computes, recombines the root and checks it against the
+  encrypted ChunkDigest.
+
+All schemes expose the same interface: :meth:`BaseScheme.protect` turns
+an encoded plaintext into a :class:`SecureDocument` (what the terminal
+stores) and :meth:`BaseScheme.reader` opens an SOE-side random-access
+reader that decrypts, verifies and charges every primitive cost to a
+:class:`~repro.metrics.Meter`.  :class:`SecureBytes` adapts a reader to
+the bytes-like interface the Skip-index decoder expects, so the whole
+pipeline (decrypt -> verify -> decode -> evaluate) composes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.crypto.chunks import ChunkLayout
+from repro.crypto.merkle import HASH_SIZE, MerkleTree, sha1, verify_with_siblings
+from repro.crypto.modes import (
+    BlockCipher,
+    decrypt_cbc,
+    decrypt_positioned,
+    encrypt_cbc,
+    encrypt_positioned,
+    make_iv,
+)
+from repro.crypto.xtea import Xtea
+from repro.metrics import Meter
+
+
+class IntegrityError(Exception):
+    """Raised when tampering is detected."""
+
+
+class SecureDocument:
+    """What the terminal stores: chunk records (digest + payload)."""
+
+    def __init__(
+        self,
+        scheme: "BaseScheme",
+        stored: bytes,
+        plaintext_size: int,
+    ):
+        self.scheme = scheme
+        self.stored = bytearray(stored)  # mutable so tests can tamper
+        self.plaintext_size = plaintext_size
+        self.layout = scheme.layout
+
+    def stored_size(self) -> int:
+        return len(self.stored)
+
+    def chunk_record(self, chunk_index: int) -> Tuple[bytes, bytes]:
+        """(digest header, encrypted payload) of one chunk record."""
+        layout = self.layout
+        digest_size = layout.digest_size if self.scheme.has_digest else 0
+        record_size = digest_size + layout.chunk_size
+        start = chunk_index * record_size
+        record = bytes(self.stored[start : start + record_size])
+        return record[:digest_size], record[digest_size:]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SecureDocument(%s, %d bytes stored)" % (
+            self.scheme.name,
+            len(self.stored),
+        )
+
+
+class BaseScheme:
+    """Common machinery: chunking, digest encryption, reader factory."""
+
+    name = "base"
+    has_digest = True
+
+    def __init__(
+        self,
+        key: bytes = b"\x00" * 16,
+        cipher_factory: Callable[[bytes], BlockCipher] = Xtea,
+        layout: Optional[ChunkLayout] = None,
+    ):
+        self.cipher = cipher_factory(key)
+        self.layout = layout if layout is not None else ChunkLayout()
+        if self.cipher.block_size != self.layout.block_size:
+            raise ValueError("cipher block size does not match the layout")
+
+    # -- scheme-specific hooks -----------------------------------------
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+        raise NotImplementedError
+
+    def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
+        raise NotImplementedError
+
+    # -- digest encryption (shared) ------------------------------------
+    def _encrypt_digest(self, digest: bytes, chunk_index: int) -> bytes:
+        padded = digest + b"\x00" * (self.layout.digest_size - len(digest))
+        # A distinct position space (high bit set) keeps digest blocks
+        # unlinkable to payload blocks.
+        position = (1 << 62) + chunk_index * self.layout.digest_size
+        return encrypt_positioned(self.cipher, padded, position)
+
+    def _decrypt_digest(self, encrypted: bytes, chunk_index: int) -> bytes:
+        position = (1 << 62) + chunk_index * self.layout.digest_size
+        return decrypt_positioned(self.cipher, encrypted, position)[:HASH_SIZE]
+
+    # -- public API -------------------------------------------------------
+    def protect(self, plaintext: bytes) -> SecureDocument:
+        """Encrypt (and digest) ``plaintext`` for storage at the terminal."""
+        layout = self.layout
+        stored = bytearray()
+        count = layout.chunk_count(len(plaintext))
+        for chunk_index in range(count):
+            start, end = layout.chunk_range(chunk_index, len(plaintext))
+            chunk = layout.pad_chunk(plaintext[start:end])
+            cipher_chunk = self._encrypt_chunk(chunk, chunk_index)
+            if self.has_digest:
+                digest = self._chunk_digest(chunk, cipher_chunk)
+                stored.extend(self._encrypt_digest(digest, chunk_index))
+            stored.extend(cipher_chunk)
+        return SecureDocument(self, bytes(stored), len(plaintext))
+
+    def _chunk_digest(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
+        return sha1(self._digest_input(plaintext_chunk, cipher_chunk))
+
+    def reader(self, document: SecureDocument, meter: Optional[Meter] = None):
+        raise NotImplementedError
+
+
+class _ChunkCache:
+    """Single-chunk SOE cache (the SOE RAM holds one chunk at a time;
+    non-contiguous accesses re-pay the chunk work, as in the paper's
+    worst case of one digest per visited chunk)."""
+
+    def __init__(self):
+        self.chunk_index: Optional[int] = None
+        self.plain: Optional[bytearray] = None
+        self.have_blocks: Set[int] = set()
+        self.have_fragments: Set[int] = set()
+        self.cipher_chunk: Optional[bytes] = None
+        self.digest: Optional[bytes] = None
+
+    def switch_to(self, chunk_index: int) -> bool:
+        """Focus the cache on ``chunk_index``; True if it was a miss."""
+        if self.chunk_index == chunk_index:
+            return False
+        self.chunk_index = chunk_index
+        self.plain = None
+        self.have_blocks = set()
+        self.have_fragments = set()
+        self.cipher_chunk = None
+        self.digest = None
+        return True
+
+
+class BaseReader:
+    """SOE-side random-access reader: scheme-specific per-chunk work is
+    delegated to ``_prepare_chunk`` / ``_materialize_blocks``."""
+
+    def __init__(self, scheme: BaseScheme, document: SecureDocument, meter: Meter):
+        self.scheme = scheme
+        self.document = document
+        self.meter = meter
+        self.layout = scheme.layout
+        self.cache = _ChunkCache()
+
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Plaintext bytes ``[offset, offset+length)``, decrypted and
+        verified; every primitive cost is charged to the meter."""
+        if length <= 0:
+            return b""
+        end = min(offset + length, self.document.plaintext_size)
+        if offset >= end:
+            return b""
+        out = bytearray()
+        layout = self.layout
+        for chunk_index in layout.chunks_covering(offset, end - offset):
+            chunk_start, chunk_end = layout.chunk_range(
+                chunk_index, self.document.plaintext_size
+            )
+            lo = max(offset, chunk_start) - chunk_start
+            hi = min(end, chunk_end) - chunk_start
+            if self.cache.switch_to(chunk_index):
+                self.meter.chunks_accessed += 1
+                self._prepare_chunk(chunk_index)
+            self._ensure_range(chunk_index, lo, hi)
+            assert self.cache.plain is not None
+            out.extend(self.cache.plain[lo:hi])
+        return bytes(out)
+
+    # -- hooks ----------------------------------------------------------
+    def _prepare_chunk(self, chunk_index: int) -> None:
+        """Chunk-granularity work on first touch (transfer/verify)."""
+        raise NotImplementedError
+
+    def _ensure_range(self, chunk_index: int, lo: int, hi: int) -> None:
+        """Make plaintext bytes ``[lo, hi)`` of the chunk available."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# ECB: confidentiality only
+# ----------------------------------------------------------------------
+class EcbScheme(BaseScheme):
+    """Position-XOR ECB without integrity (Fig. 11's 'ECB')."""
+
+    name = "ECB"
+    has_digest = False
+
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+        return encrypt_positioned(
+            self.cipher, chunk, chunk_index * self.layout.chunk_size
+        )
+
+    def reader(self, document: SecureDocument, meter: Optional[Meter] = None):
+        return _EcbReader(self, document, meter if meter is not None else Meter())
+
+
+class _EcbReader(BaseReader):
+    def _prepare_chunk(self, chunk_index: int) -> None:
+        self.cache.plain = bytearray(self.layout.chunk_size)
+
+    def _ensure_range(self, chunk_index: int, lo: int, hi: int) -> None:
+        layout = self.layout
+        block = layout.block_size
+        _digest, payload = self.document.chunk_record(chunk_index)
+        first = lo // block
+        last = (hi - 1) // block
+        base = chunk_index * layout.chunk_size
+        for index in range(first, last + 1):
+            if index in self.cache.have_blocks:
+                continue
+            cipher_block = payload[index * block : (index + 1) * block]
+            self.meter.bytes_transferred += block
+            plain = decrypt_positioned(
+                self.scheme.cipher, cipher_block, base + index * block
+            )
+            self.meter.bytes_decrypted += block
+            self.cache.plain[index * block : (index + 1) * block] = plain
+            self.cache.have_blocks.add(index)
+
+
+# ----------------------------------------------------------------------
+# CBC-SHA: CBC + digest over the plaintext chunk
+# ----------------------------------------------------------------------
+class CbcShaScheme(BaseScheme):
+    """CBC encryption, SHA-1 of the *plaintext* chunk (Fig. 11's
+    'CBC-SHA'): every access costs a full chunk transfer + decrypt +
+    hash."""
+
+    name = "CBC-SHA"
+
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+        return encrypt_cbc(self.cipher, chunk, make_iv(chunk_index))
+
+    def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
+        return plaintext_chunk
+
+    def reader(self, document: SecureDocument, meter: Optional[Meter] = None):
+        return _CbcShaReader(self, document, meter if meter is not None else Meter())
+
+
+class _CbcShaReader(BaseReader):
+    def _prepare_chunk(self, chunk_index: int) -> None:
+        layout = self.layout
+        encrypted_digest, payload = self.document.chunk_record(chunk_index)
+        self.meter.bytes_transferred += layout.digest_size + layout.chunk_size
+        plain = decrypt_cbc(self.scheme.cipher, payload, make_iv(chunk_index))
+        self.meter.bytes_decrypted += layout.chunk_size
+        self.meter.bytes_hashed += layout.chunk_size
+        digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index)
+        self.meter.bytes_decrypted += layout.digest_size
+        self.meter.digest_decrypts += 1
+        if sha1(plain) != digest:
+            raise IntegrityError("chunk %d digest mismatch" % chunk_index)
+        self.cache.plain = bytearray(plain)
+        self.cache.have_blocks = set(range(layout.chunk_size // layout.block_size))
+
+    def _ensure_range(self, chunk_index: int, lo: int, hi: int) -> None:
+        pass  # the whole chunk was materialized in _prepare_chunk
+
+
+# ----------------------------------------------------------------------
+# CBC-SHAC: CBC + digest over the ciphertext chunk
+# ----------------------------------------------------------------------
+class CbcShacScheme(BaseScheme):
+    """CBC encryption, SHA-1 of the *ciphertext* chunk: the SOE checks
+    integrity without decrypting the chunk (only the needed blocks)."""
+
+    name = "CBC-SHAC"
+
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+        return encrypt_cbc(self.cipher, chunk, make_iv(chunk_index))
+
+    def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
+        return cipher_chunk
+
+    def reader(self, document: SecureDocument, meter: Optional[Meter] = None):
+        return _CbcShacReader(self, document, meter if meter is not None else Meter())
+
+
+class _CbcShacReader(BaseReader):
+    def _prepare_chunk(self, chunk_index: int) -> None:
+        layout = self.layout
+        encrypted_digest, payload = self.document.chunk_record(chunk_index)
+        self.meter.bytes_transferred += layout.digest_size + layout.chunk_size
+        self.meter.bytes_hashed += layout.chunk_size
+        digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index)
+        self.meter.bytes_decrypted += layout.digest_size
+        self.meter.digest_decrypts += 1
+        if sha1(payload) != digest:
+            raise IntegrityError("chunk %d digest mismatch" % chunk_index)
+        self.cache.cipher_chunk = payload
+        self.cache.plain = bytearray(layout.chunk_size)
+
+    def _ensure_range(self, chunk_index: int, lo: int, hi: int) -> None:
+        layout = self.layout
+        block = layout.block_size
+        payload = self.cache.cipher_chunk
+        assert payload is not None
+        first = lo // block
+        last = (hi - 1) // block
+        for index in range(first, last + 1):
+            if index in self.cache.have_blocks:
+                continue
+            previous = (
+                make_iv(chunk_index)
+                if index == 0
+                else payload[(index - 1) * block : index * block]
+            )
+            cipher_block = payload[index * block : (index + 1) * block]
+            plain_block = self.scheme.cipher.decrypt_block(cipher_block)
+            plain = bytes(a ^ b for a, b in zip(plain_block, previous))
+            self.meter.bytes_decrypted += block
+            self.cache.plain[index * block : (index + 1) * block] = plain
+            self.cache.have_blocks.add(index)
+
+
+# ----------------------------------------------------------------------
+# ECB-MHT: the paper's proposal
+# ----------------------------------------------------------------------
+class EcbMhtScheme(BaseScheme):
+    """Position-XOR ECB + Merkle hash tree per chunk (Fig. 11's
+    'ECB-MHT'): only the touched fragments enter the SOE; the terminal
+    cooperates by sending sibling hashes (Fig. F1)."""
+
+    name = "ECB-MHT"
+
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+        return encrypt_positioned(
+            self.cipher, chunk, chunk_index * self.layout.chunk_size
+        )
+
+    def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
+        raise NotImplementedError  # the digest is the Merkle root instead
+
+    def _chunk_digest(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
+        tree = MerkleTree(self.layout.split_fragments(cipher_chunk))
+        return tree.root
+
+    def reader(self, document: SecureDocument, meter: Optional[Meter] = None):
+        return _EcbMhtReader(self, document, meter if meter is not None else Meter())
+
+
+class _EcbMhtReader(BaseReader):
+    def __init__(self, scheme, document, meter):
+        super().__init__(scheme, document, meter)
+        self._tree_cache: Dict[int, MerkleTree] = {}
+
+    def _terminal_tree(self, chunk_index: int) -> MerkleTree:
+        """The terminal's Merkle tree for a chunk (untrusted side; built
+        over the ciphertext it stores)."""
+        tree = self._tree_cache.get(chunk_index)
+        if tree is None:
+            _digest, payload = self.document.chunk_record(chunk_index)
+            tree = MerkleTree(self.layout.split_fragments(payload))
+            self._tree_cache[chunk_index] = tree
+        return tree
+
+    def _prepare_chunk(self, chunk_index: int) -> None:
+        layout = self.layout
+        encrypted_digest, _payload = self.document.chunk_record(chunk_index)
+        self.meter.bytes_transferred += layout.digest_size
+        self.cache.digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index)
+        self.meter.bytes_decrypted += layout.digest_size
+        self.meter.digest_decrypts += 1
+        self.cache.plain = bytearray(layout.chunk_size)
+
+    def _ensure_range(self, chunk_index: int, lo: int, hi: int) -> None:
+        layout = self.layout
+        needed_fragments = [
+            f
+            for f in layout.fragments_covering(lo, hi - lo)
+            if f not in self.cache.have_fragments
+        ]
+        _digest, payload = self.document.chunk_record(chunk_index)
+        if needed_fragments:
+            fragment_size = layout.fragment_size
+            fragments: Dict[int, bytes] = {}
+            for f in needed_fragments:
+                data = payload[f * fragment_size : (f + 1) * fragment_size]
+                fragments[f] = data
+                self.meter.bytes_transferred += fragment_size
+                self.meter.bytes_hashed += fragment_size
+            siblings = self._terminal_tree(chunk_index).sibling_hashes(
+                needed_fragments
+            )
+            self.meter.bytes_transferred += HASH_SIZE * len(siblings)
+            ok, recombinations = verify_with_siblings(
+                layout.fragments_per_chunk,
+                fragments,
+                siblings,
+                self.cache.digest,
+            )
+            self.meter.hash_nodes += recombinations
+            if not ok:
+                raise IntegrityError(
+                    "chunk %d Merkle verification failed" % chunk_index
+                )
+            self.cache.have_fragments.update(needed_fragments)
+        # Decrypt only the blocks of the requested range.
+        block = layout.block_size
+        base = chunk_index * layout.chunk_size
+        first = lo // block
+        last = (hi - 1) // block
+        for index in range(first, last + 1):
+            if index in self.cache.have_blocks:
+                continue
+            cipher_block = payload[index * block : (index + 1) * block]
+            plain = decrypt_positioned(
+                self.scheme.cipher, cipher_block, base + index * block
+            )
+            self.meter.bytes_decrypted += block
+            self.cache.plain[index * block : (index + 1) * block] = plain
+            self.cache.have_blocks.add(index)
+
+
+# ----------------------------------------------------------------------
+# Bytes-like adapter for the Skip-index decoder
+# ----------------------------------------------------------------------
+class SecureBytes:
+    """Random-access bytes view over a scheme reader.
+
+    Supports ``len``, integer indexing and slicing — exactly what the
+    Skip-index :class:`~repro.skipindex.bitio.BitReader` needs.  Every
+    access flows through the scheme's decrypt-and-verify path, so costs
+    and integrity checks apply transparently to the decoding pipeline.
+    """
+
+    def __init__(self, reader: BaseReader):
+        self._reader = reader
+        self._size = reader.document.plaintext_size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(self._size)
+            if step != 1:
+                raise ValueError("SecureBytes slices must be contiguous")
+            return self._reader.read(start, stop - start)
+        if item < 0:
+            item += self._size
+        data = self._reader.read(item, 1)
+        if not data:
+            raise IndexError("SecureBytes index out of range")
+        return data[0]
+
+
+SCHEMES = {
+    "ECB": EcbScheme,
+    "CBC-SHA": CbcShaScheme,
+    "CBC-SHAC": CbcShacScheme,
+    "ECB-MHT": EcbMhtScheme,
+}
+
+
+def make_scheme(name: str, key: bytes = b"\x00" * 16, **kwargs) -> BaseScheme:
+    """Factory by Fig. 11 scheme name."""
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown scheme %r (expected one of %s)" % (name, sorted(SCHEMES))
+        )
+    return cls(key=key, **kwargs)

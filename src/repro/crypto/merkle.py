@@ -1,0 +1,124 @@
+"""Merkle hash trees over chunk fragments (Appendix A, Fig. F1).
+
+Each chunk is divided into ``m`` fragments (``m`` a power of two); the
+fragments' hashes form the leaves of a binary tree whose root is the
+*ChunkDigest*.  When the SOE reads some fragments, the (untrusted)
+terminal supplies the *sibling hashes* along the paths to the root; the
+SOE hashes only the fragments it received, recombines the path and
+compares against the (encrypted, hence trusted) ChunkDigest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+HASH_SIZE = 20  # SHA-1
+
+
+def sha1(data: bytes) -> bytes:
+    return hashlib.sha1(data).digest()
+
+
+def combine(left: bytes, right: bytes) -> bytes:
+    """Hash of the concatenation of two child hashes."""
+    return sha1(left + right)
+
+
+class MerkleTree:
+    """Binary Merkle tree over a fixed list of fragments.
+
+    Node numbering is heap-like: node 1 is the root, node ``i`` has
+    children ``2i`` and ``2i+1``; leaves occupy ``m .. 2m-1`` (fragment
+    ``f`` is node ``m + f``).
+    """
+
+    def __init__(self, fragments: Sequence[bytes]):
+        m = len(fragments)
+        if m == 0 or m & (m - 1):
+            raise ValueError("fragment count must be a power of two, got %d" % m)
+        self.fragment_count = m
+        self._nodes: List[bytes] = [b""] * (2 * m)
+        for index, fragment in enumerate(fragments):
+            self._nodes[m + index] = sha1(fragment)
+        for index in range(m - 1, 0, -1):
+            self._nodes[index] = combine(
+                self._nodes[2 * index], self._nodes[2 * index + 1]
+            )
+
+    @property
+    def root(self) -> bytes:
+        """The ChunkDigest."""
+        return self._nodes[1]
+
+    def leaf(self, fragment_index: int) -> bytes:
+        return self._nodes[self.fragment_count + fragment_index]
+
+    def sibling_hashes(self, fragment_indexes: Iterable[int]) -> Dict[int, bytes]:
+        """Hashes the terminal must supply so the SOE can recompute the
+        root knowing only the fragments in ``fragment_indexes``.
+
+        Returns ``{node_number: hash}`` for the frontier of subtrees
+        containing none of the requested fragments.
+        """
+        m = self.fragment_count
+        known: Set[int] = {m + f for f in fragment_indexes}
+        if not known:
+            return {1: self.root}
+        needed: Dict[int, bytes] = {}
+        for leaf in sorted(known):
+            node = leaf
+            while node > 1:
+                sibling = node ^ 1
+                if sibling not in needed and not self._subtree_contains(
+                    sibling, known
+                ):
+                    # Sibling subtrees holding a known fragment will be
+                    # recombined by the SOE instead of being supplied.
+                    needed[sibling] = self._nodes[sibling]
+                node //= 2
+        return needed
+
+    def _subtree_contains(self, node: int, leaves: Set[int]) -> bool:
+        m = self.fragment_count
+        low, high = node, node
+        while low < m:
+            low *= 2
+            high = high * 2 + 1
+        return any(low <= leaf <= high for leaf in leaves)
+
+
+def verify_with_siblings(
+    fragment_count: int,
+    fragments: Dict[int, bytes],
+    siblings: Dict[int, bytes],
+    expected_root: bytes,
+) -> Tuple[bool, int]:
+    """SOE-side verification.
+
+    ``fragments`` maps fragment index -> fragment bytes (hashed here);
+    ``siblings`` maps node number -> hash (supplied by the terminal).
+    Returns ``(ok, recombinations)`` where ``recombinations`` counts the
+    internal hash-combine operations performed in the SOE (charged by
+    the cost model).
+    """
+    m = fragment_count
+    known: Dict[int, bytes] = dict(siblings)
+    for index, data in fragments.items():
+        known[m + index] = sha1(data)
+    recombinations = 0
+    changed = True
+    while changed and 1 not in known:
+        changed = False
+        for node in sorted(known.keys(), reverse=True):
+            parent = node // 2
+            if parent < 1 or parent in known:
+                continue
+            sibling = node ^ 1
+            if sibling in known:
+                left, right = (node, sibling) if node < sibling else (sibling, node)
+                known[parent] = combine(known[left], known[right])
+                recombinations += 1
+                changed = True
+    root = known.get(1)
+    return (root == expected_root, recombinations)

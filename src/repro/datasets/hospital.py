@@ -1,0 +1,247 @@
+"""The Hospital document and its access-control policies (Fig. 1).
+
+Schema (one ``Folder`` per patient)::
+
+    Hospital
+      Folder*
+        Admin    (SSN, Fname, Lname, Age)
+        Protocol*(Id, Type, Date, RPhys)        # subscribed test protocols
+        MedActs
+          Act*   (Date, VitalSigns, Symptoms, Diagnostic,
+                  Details(Comments), RPhys)
+        Analysis
+          LabResults* (G1..G10 group element holding Cholesterol and
+                       other measures, RPhys)
+
+Profiles (verbatim from the paper):
+
+* **Secretary** — ``S1: +//Admin``;
+* **Doctor** — ``D1: +//Folder/Admin``,
+  ``D2: +//MedActs[//RPhys = USER]``,
+  ``D3: -//Act[RPhys != USER]/Details``,
+  ``D4: +//Folder[MedActs//RPhys = USER]/Analysis``;
+* **Researcher** — ``R1: +//Folder[Protocol]//Age`` and, for each
+  monitored protocol group ``Gk``:
+  ``R2k: +//Folder[Protocol/Type = Gk]//LabResults//Gk`` and
+  ``R3k: -//Gk[Cholesterol > 250]``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.accesscontrol.model import AccessRule, Policy
+from repro.xmlkit.dom import Node
+
+GROUPS = tuple("G%d" % i for i in range(1, 11))
+
+_FIRST_NAMES = (
+    "Anna", "Luc", "Marie", "Paul", "Nina", "Hugo", "Lea", "Marc",
+    "Eva", "Jean", "Zoe", "Remy", "Ida", "Noel", "Lou", "Max",
+)
+_LAST_NAMES = (
+    "Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard",
+    "Petit", "Durand", "Leroy", "Moreau", "Simon", "Laurent",
+)
+_SYMPTOMS = (
+    "fever and fatigue", "persistent cough", "chest pain", "headache",
+    "joint pain", "shortness of breath", "dizziness", "nausea",
+)
+_DIAGNOSTICS = (
+    "seasonal influenza", "hypertension stage 1", "type 2 diabetes",
+    "bronchitis", "migraine", "arrhythmia", "anemia", "gastritis",
+)
+_COMMENTS = (
+    "prescribed rest and fluids, follow-up in two weeks",
+    "adjusted treatment dosage after blood panel review",
+    "referred to specialist for complementary examination",
+    "patient responds well to the current treatment",
+    "monitoring required after abnormal reading during consultation",
+    "discussed lifestyle changes and scheduled a control visit",
+)
+
+_OBSERVATIONS = (
+    "general state is stable, no acute distress observed during the visit",
+    "patient reports gradual improvement since the previous consultation",
+    "mild tenderness persists, imaging results pending from the laboratory",
+    "no adverse reaction to the medication reported over the period",
+    "condition consistent with the working diagnosis, treatment unchanged",
+)
+_MEASURES = ("HDL", "LDL", "Triglycerides", "Glucose")
+
+
+class HospitalConfig:
+    """Generation knobs (deterministic given ``seed``)."""
+
+    def __init__(
+        self,
+        folders: int = 50,
+        doctors: int = 8,
+        acts_per_folder: int = 6,
+        labresults_per_folder: int = 4,
+        protocol_probability: float = 0.5,
+        seed: int = 42,
+    ):
+        self.folders = folders
+        self.doctors = doctors
+        self.acts_per_folder = acts_per_folder
+        self.labresults_per_folder = labresults_per_folder
+        self.protocol_probability = protocol_probability
+        self.seed = seed
+
+    def doctor_names(self) -> List[str]:
+        return ["doctor%d" % i for i in range(self.doctors)]
+
+
+def generate_hospital(config: Optional[HospitalConfig] = None) -> Node:
+    """Generate the Hospital document (ToXgene substitute)."""
+    config = config or HospitalConfig()
+    rng = random.Random(config.seed)
+    doctors = config.doctor_names()
+    root = Node("Hospital")
+    for folder_index in range(config.folders):
+        folder = root.element("Folder")
+        admin = folder.element("Admin")
+        admin.element("SSN", "%09d" % rng.randrange(10 ** 9))
+        admin.element("Fname", rng.choice(_FIRST_NAMES))
+        admin.element("Lname", rng.choice(_LAST_NAMES))
+        admin.element("Age", str(rng.randint(1, 99)))
+        admin.element(
+            "Address",
+            "%d rue %s, %05d %s cedex"
+            % (
+                rng.randint(1, 180),
+                rng.choice(_LAST_NAMES),
+                rng.randrange(100000),
+                rng.choice(("Paris", "Lyon", "Lille", "Nantes", "Rennes")),
+            ),
+        )
+        admin.element(
+            "Insurance",
+            "plan %s-%04d coverage %d%%"
+            % (rng.choice("ABC"), rng.randrange(10000), rng.choice((70, 80, 100))),
+        )
+        protocol_types: List[str] = []
+        if rng.random() < config.protocol_probability:
+            for _ in range(rng.randint(1, 2)):
+                protocol = folder.element("Protocol")
+                protocol.element("Id", "P%05d" % rng.randrange(100000))
+                group_type = rng.choice(GROUPS)
+                protocol_types.append(group_type)
+                protocol.element("Type", group_type)
+                protocol.element("Date", _date(rng))
+                protocol.element("RPhys", rng.choice(doctors))
+        medacts = folder.element("MedActs")
+        for _ in range(rng.randint(1, config.acts_per_folder)):
+            act = medacts.element("Act")
+            act.element("Date", _date(rng))
+            # RPhys early in the act record: the physician predicates of
+            # rules D2/D3 resolve before Details arrives, so foreign
+            # details are skipped rather than buffered (matching the
+            # paper's observation that only the Researcher profile pays
+            # a visible pending-predicate overhead).
+            act.element("RPhys", rng.choice(doctors))
+            act.element(
+                "VitalSigns",
+                "bp %d/%d pulse %d"
+                % (rng.randint(95, 160), rng.randint(55, 100), rng.randint(50, 110)),
+            )
+            act.element(
+                "Symptoms",
+                "%s; %s" % (rng.choice(_SYMPTOMS), rng.choice(_SYMPTOMS)),
+            )
+            act.element(
+                "Diagnostic",
+                "%s — %s" % (rng.choice(_DIAGNOSTICS), rng.choice(_OBSERVATIONS)),
+            )
+            details = act.element("Details")
+            details.element(
+                "Comments",
+                "%s. %s. %s. %s."
+                % (
+                    rng.choice(_COMMENTS),
+                    rng.choice(_OBSERVATIONS),
+                    rng.choice(_COMMENTS),
+                    rng.choice(_OBSERVATIONS),
+                ),
+            )
+            details.element(
+                "Observations",
+                "%s. %s. %s."
+                % (
+                    rng.choice(_OBSERVATIONS),
+                    rng.choice(_OBSERVATIONS),
+                    rng.choice(_COMMENTS),
+                ),
+            )
+        analysis = folder.element("Analysis")
+        for _ in range(rng.randint(1, config.labresults_per_folder)):
+            labresults = analysis.element("LabResults")
+            # Patients subscribed to protocol Gk predominantly get Gk
+            # lab panels (mirrors the paper's motivating scenario where
+            # the researcher's per-group rules select real data).
+            if protocol_types and rng.random() < 0.7:
+                group_name = rng.choice(protocol_types)
+            else:
+                group_name = rng.choice(GROUPS)
+            group = labresults.element(group_name)
+            group.element("Cholesterol", str(rng.randint(120, 350)))
+            for measure in rng.sample(_MEASURES, rng.randint(2, 4)):
+                group.element(measure, str(rng.randint(40, 260)))
+            group.element(
+                "Notes",
+                "%s panel drawn on %s; %s"
+                % (group_name, _date(rng), rng.choice(_OBSERVATIONS)),
+            )
+            labresults.element("RPhys", rng.choice(doctors))
+    return root
+
+
+def _date(rng: random.Random) -> str:
+    return "%04d-%02d-%02d" % (
+        rng.randint(1998, 2004),
+        rng.randint(1, 12),
+        rng.randint(1, 28),
+    )
+
+
+# ----------------------------------------------------------------------
+# Access-control policies of Fig. 1
+# ----------------------------------------------------------------------
+def secretary_policy() -> Policy:
+    """S1: access to the administrative subfolders only."""
+    return Policy([AccessRule("+", "//Admin", "S1")], subject="secretary")
+
+
+def doctor_policy(user: str) -> Policy:
+    """D1-D4: administrative data, own medical acts (details of other
+    physicians' acts excluded) and analysis of own patients."""
+    rules = [
+        AccessRule("+", "//Folder/Admin", "D1"),
+        AccessRule("+", "//MedActs[//RPhys = USER]", "D2"),
+        AccessRule("-", "//Act[RPhys != USER]/Details", "D3"),
+        AccessRule("+", "//Folder[MedActs//RPhys = USER]/Analysis", "D4"),
+    ]
+    return Policy(rules, subject=user)
+
+
+def researcher_policy(groups: Sequence[str] = GROUPS) -> Policy:
+    """R1 + (R2, R3) per monitored protocol group.
+
+    The paper's experiment grants the researcher 10 protocols, "each
+    expressed by one positive and one negative rule".
+    """
+    rules = [AccessRule("+", "//Folder[Protocol]//Age", "R1")]
+    for group in groups:
+        rules.append(
+            AccessRule(
+                "+",
+                "//Folder[Protocol/Type = %s]//LabResults//%s" % (group, group),
+                "R2-%s" % group,
+            )
+        )
+        rules.append(
+            AccessRule("-", "//%s[Cholesterol > 250]" % group, "R3-%s" % group)
+        )
+    return Policy(rules, subject="researcher")

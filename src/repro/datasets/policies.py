@@ -1,0 +1,108 @@
+"""Random access-control policies (the Fig. 12 experiment).
+
+"For these documents we generated random access rules (including //
+and predicates)" — Section 7.  We sample rules from the *actual
+structure* of the document so that they have non-trivial scopes:
+a random node's root path is generalized (some steps replaced by ``//``
+or ``*``), optionally extended with a predicate on a sibling/child leaf
+value, and signed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.accesscontrol.model import AccessRule, Policy
+from repro.xmlkit.dom import Node
+
+
+def _sample_paths(tree: Node, rng: random.Random, count: int) -> List[List[Node]]:
+    """Sample ``count`` random root-to-node paths."""
+    all_paths: List[List[Node]] = []
+
+    def collect(node: Node, path: List[Node]) -> None:
+        current = path + [node]
+        all_paths.append(current)
+        for child in node.element_children():
+            collect(child, current)
+
+    collect(tree, [])
+    if len(all_paths) <= count:
+        return all_paths
+    return rng.sample(all_paths, count)
+
+
+def _generalize(path: List[Node], rng: random.Random) -> str:
+    """Turn a concrete node path into a random XP{[],*,//} expression."""
+    # Keep a random suffix of the path, anchored with //.
+    if len(path) > 2 and rng.random() < 0.7:
+        start = rng.randrange(1, len(path))
+        steps = path[start:]
+        prefix = "//"
+    else:
+        steps = path
+        prefix = "/"
+    parts: List[str] = []
+    for index, node in enumerate(steps):
+        axis = prefix if index == 0 else ("//" if rng.random() < 0.2 else "/")
+        test = "*" if rng.random() < 0.1 and index < len(steps) - 1 else node.tag
+        parts.append(axis + test)
+    return "".join(parts)
+
+
+def _maybe_predicate(
+    path: List[Node], expression: str, rng: random.Random
+) -> str:
+    """Attach a predicate on a leaf child of the selected node."""
+    node = path[-1]
+    leaves = [
+        child
+        for child in node.element_children()
+        if child.text() and not any(True for _ in child.element_children())
+    ]
+    if not leaves or rng.random() < 0.5:
+        return expression
+    leaf = rng.choice(leaves)
+    value = leaf.text().strip()
+    try:
+        number = float(value)
+        operator = rng.choice(["=", "!=", ">", "<", ">=", "<="])
+        literal = (
+            str(int(number)) if number.is_integer() else str(number)
+        )
+    except ValueError:
+        operator = rng.choice(["=", "!="])
+        literal = '"%s"' % value.replace('"', "")
+    return "%s[%s %s %s]" % (expression, leaf.tag, operator, literal)
+
+
+def random_policy_for(
+    tree: Node,
+    rules: int = 8,
+    seed: int = 0,
+    positive_ratio: float = 0.65,
+    subject: str = "user",
+) -> Policy:
+    """A random policy whose rules reference real paths of ``tree``."""
+    rng = random.Random(seed)
+    sampled = _sample_paths(tree, rng, rules * 3)
+    chosen: List[AccessRule] = []
+    attempts = 0
+    while len(chosen) < rules and attempts < rules * 20:
+        attempts += 1
+        path = rng.choice(sampled)
+        expression = _generalize(path, rng)
+        expression = _maybe_predicate(path, expression, rng)
+        sign = "+" if rng.random() < positive_ratio else "-"
+        try:
+            rule = AccessRule(sign, expression, "RND%d" % len(chosen))
+        except ValueError:
+            continue
+        chosen.append(rule)
+    if not any(rule.is_positive for rule in chosen) and chosen:
+        # A policy with no positive rule denies everything; flip one so
+        # the experiment exercises real traffic.
+        first = chosen[0]
+        chosen[0] = AccessRule("+", first.object, first.name)
+    return Policy(chosen, subject=subject)

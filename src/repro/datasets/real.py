@@ -1,0 +1,182 @@
+"""Synthetic equivalents of the paper's real datasets (Table 2).
+
+The paper uses three documents from the UW XML repository:
+
+========  ======  =========  =========  ==========  =========
+Dataset   Size    Text size  Max depth  Avg. depth  # tags
+========  ======  =========  =========  ==========  =========
+WSU       1.3 MB  210 KB     4          3.1         20
+Sigmod    350 KB  146 KB     6          5.1         11
+Treebank  59 MB   33 MB      36         7.8         250
+========  ======  =========  =========  ==========  =========
+
+These files are not redistributable in this offline environment, so we
+generate documents with the same *shape*: WSU is flat with a huge
+number of tiny elements (structure dominates), Sigmod is a well-
+structured medium-depth bibliography, Treebank is deeply recursive
+with a large tag alphabet and long text leaves.  A ``scale`` parameter
+trades fidelity of absolute size for runtime; all shape statistics are
+preserved at any scale (Table 2 is regenerated from the actual
+generated documents by the Table 2 bench).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.xmlkit.dom import Node
+
+# ----------------------------------------------------------------------
+# WSU: university course records — flat, tiny elements
+# ----------------------------------------------------------------------
+_WSU_FIELDS = (
+    "crs", "sect", "title", "instructor", "credit", "days", "times",
+    "place", "enrolled", "limit", "footnote", "bldg", "room", "start",
+    "end", "cap", "sln",
+)
+_WSU_WORDS = ("CS", "MATH", "BIO", "PHY", "ENG", "HIST", "ECON", "STAT")
+
+
+def generate_wsu(scale: float = 1.0, seed: int = 7) -> Node:
+    """WSU-like: depth 4, ~20 distinct tags, many very small elements.
+
+    Structure represents most of the document (the paper reports the
+    structure at 78% of the document size after TCSBR indexing).
+    """
+    rng = random.Random(seed)
+    courses = max(1, int(400 * scale))
+    root = Node("root")
+    for index in range(courses):
+        course = root.element("course")
+        course.element("sln", "%05d" % rng.randrange(100000))
+        for field in _WSU_FIELDS:
+            if rng.random() < 0.75:
+                leaf = course.element(field)
+                kind = rng.random()
+                if kind < 0.5:
+                    leaf.children.append(str(rng.randint(1, 999)))
+                elif kind < 0.8:
+                    leaf.children.append(
+                        "%s %d" % (rng.choice(_WSU_WORDS), rng.randint(100, 599))
+                    )
+                else:
+                    leaf.children.append(rng.choice(_WSU_WORDS))
+    return root
+
+
+# ----------------------------------------------------------------------
+# Sigmod Record: bibliography — regular, medium depth
+# ----------------------------------------------------------------------
+_TITLE_WORDS = (
+    "query", "optimization", "database", "transaction", "index", "join",
+    "storage", "distributed", "stream", "xml", "semantic", "concurrency",
+    "recovery", "parallel", "cache", "benchmark",
+)
+_AUTHOR_NAMES = (
+    "A. Smith", "B. Chen", "C. Garcia", "D. Kumar", "E. Brown",
+    "F. Dubois", "G. Rossi", "H. Tanaka", "I. Novak", "J. Silva",
+)
+
+
+def generate_sigmod(scale: float = 1.0, seed: int = 11) -> Node:
+    """Sigmod-Record-like: 11 tags, depth 6, well-structured."""
+    rng = random.Random(seed)
+    issues = max(1, int(20 * scale))
+    root = Node("SigmodRecord")
+    for _ in range(issues):
+        issue = root.element("issue")
+        issue.element("volume", str(rng.randint(11, 34)))
+        issue.element("number", str(rng.randint(1, 4)))
+        articles = issue.element("articles")
+        for _ in range(rng.randint(5, 12)):
+            article = articles.element("article")
+            article.element(
+                "title",
+                " ".join(rng.sample(_TITLE_WORDS, rng.randint(4, 8))).title(),
+            )
+            init_page = rng.randint(1, 120)
+            article.element("initPage", str(init_page))
+            article.element("endPage", str(init_page + rng.randint(2, 18)))
+            authors = article.element("authors")
+            for position in range(rng.randint(1, 4)):
+                author = authors.element("author")
+                author.children.append(rng.choice(_AUTHOR_NAMES))
+    return root
+
+
+# ----------------------------------------------------------------------
+# Treebank: tagged English sentences — deep, recursive, 250 tags
+# ----------------------------------------------------------------------
+_SYNTAX_TAGS = [
+    "S", "NP", "VP", "PP", "ADJP", "ADVP", "SBAR", "WHNP", "WHPP",
+    "PRN", "FRAG", "NX", "QP", "UCP", "INTJ", "CONJP", "LST", "X",
+    "NNP", "NN", "VB", "VBD", "VBZ", "JJ", "RB", "DT", "IN", "CC",
+    "PRP", "MD", "CD", "TO", "WDT", "EX", "POS", "RP", "FW", "UH",
+]
+_TREEBANK_WORDS = (
+    "the market fell sharply after the announcement and investors "
+    "retreated to safer assets while analysts debated the outlook for "
+    "growth in the coming quarter amid renewed uncertainty about rates"
+).split()
+
+
+def _treebank_tags(count: int) -> List[str]:
+    tags = list(_SYNTAX_TAGS)
+    index = 1
+    while len(tags) < count:
+        tags.append("T%03d" % index)
+        index += 1
+    return tags[:count]
+
+
+def generate_treebank(
+    scale: float = 1.0, seed: int = 13, distinct_tags: int = 250
+) -> Node:
+    """Treebank-like: deeply recursive (max depth ~36), huge tag
+    alphabet, text-heavy leaves."""
+    rng = random.Random(seed)
+    tags = _treebank_tags(distinct_tags)
+    sentences = max(1, int(300 * scale))
+    root = Node("FILE")
+    used_tags = set()
+
+    def grow(node: Node, depth: int, budget: List[int]) -> None:
+        fanout = rng.randint(1, 3)
+        for _ in range(fanout):
+            if budget[0] <= 0:
+                return
+            budget[0] -= 1
+            # Bias towards frequent syntactic tags but make sure the
+            # whole alphabet appears (Table 2: 250 distinct tags).
+            if rng.random() < 0.9:
+                tag = tags[rng.randrange(min(40, len(tags)))]
+            else:
+                tag = tags[rng.randrange(len(tags))]
+            used_tags.add(tag)
+            child = node.element(tag)
+            deeper = depth < 36 and rng.random() < 0.62
+            if deeper:
+                grow(child, depth + 1, budget)
+            if not deeper or not any(True for _ in child.element_children()):
+                words = rng.randint(1, 4)
+                start = rng.randrange(len(_TREEBANK_WORDS))
+                child.children.append(
+                    " ".join(
+                        _TREEBANK_WORDS[(start + i) % len(_TREEBANK_WORDS)]
+                        for i in range(words)
+                    )
+                )
+
+    for _ in range(sentences):
+        sentence = root.element("EMPTY")
+        grow(sentence, 2, [rng.randint(10, 60)])
+    # Guarantee full alphabet coverage with one synthetic sentence.
+    coda = root.element("EMPTY")
+    holder = coda
+    for depth, tag in enumerate(tag for tag in tags if tag not in used_tags):
+        holder = holder.element(tag)
+        if depth % 8 == 7:
+            holder.children.append("filler")
+            holder = coda
+    return root

@@ -1,0 +1,64 @@
+"""Work accounting shared by the evaluator, navigators and the SOE.
+
+The paper's performance is governed by a handful of linear costs
+(Table 1 and Section 7): bytes communicated to the SOE, bytes decrypted
+inside it, hashing work, and the CPU cost of the access-control
+automata (proportional to token operations).  A :class:`Meter` counts
+every one of these primitive quantities; the SOE cost model
+(:mod:`repro.soe.costmodel`) converts the counts into simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Meter:
+    """Mutable counter bundle; every field is a plain integer.
+
+    Communication / crypto quantities are in bytes, the rest are event
+    or operation counts.
+    """
+
+    FIELDS = (
+        # --- communication & crypto -----------------------------------
+        "bytes_transferred",  # bytes entering the SOE from the terminal
+        "bytes_decrypted",  # bytes block-decrypted inside the SOE
+        "bytes_hashed",  # bytes hashed inside the SOE (integrity)
+        "bytes_delivered",  # bytes of authorized output leaving the SOE
+        "digest_decrypts",  # encrypted chunk digests decrypted
+        "hash_nodes",  # Merkle-tree node recombinations in the SOE
+        "chunks_accessed",  # distinct chunks touched
+        # --- parsing / evaluation --------------------------------------
+        "events",  # open/value/close events processed
+        "token_ops",  # automaton transition firings
+        "auth_pushes",  # Authorization Stack pushes
+        "decisions",  # DecideNode computations
+        "killed_tokens",  # tokens discarded by Skip-index filtering
+        "skipped_subtrees",  # subtrees skipped outright (denied/irrelevant)
+        "deferred_subtrees",  # pending subtrees skipped + read back later
+        "readback_events",  # events re-fetched when pending parts resolve
+        "skipped_bytes",  # encoded bytes never sent to the SOE
+        "pending_nodes",  # nodes buffered with an undecided condition
+    )
+
+    __slots__ = FIELDS
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def reset(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def merge(self, other: "Meter") -> None:
+        for field in self.FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        interesting = {k: v for k, v in self.as_dict().items() if v}
+        return "Meter(%s)" % interesting

@@ -1,0 +1,309 @@
+"""TCSBR encoder — the Skip index proper (Section 4.1).
+
+The encoded document is self-delimiting and recursively compressed:
+
+* **T**ag compression: an element's tag is a reference into its
+  *parent's* descendant-tag set (``log2 |DescTag_parent|`` bits instead
+  of ``log2 Nt``);
+* **S**ubtree sizes: every internal element stores the byte size of its
+  content, with a field width of ``log2 SubtreeSize_parent`` bits —
+  closing tags become unnecessary and subtrees can be skipped;
+* **B**itmaps: every internal element stores ``TagArray``, the set of
+  tags of its subtree, as a bitmap over the parent's set;
+* **R**ecursive: all three field widths shrink while descending.
+
+Concrete layout (our concretization of the paper's scheme; DESIGN.md §6)::
+
+    document := magic "XSKP" | version u8 | dictionary | root item
+    dictionary := varint count | count * (varint len | utf8 tag)
+    item      := code[w_code bits]              (0 = text item)
+                 -- text item --
+                 | pad | varint len | utf8 bytes
+                 -- element item (code c >= 1 names parent_desc[c-1]) --
+                 | internal flag (1 bit)
+                 -- internal --
+                 | TagArray [ |parent_desc| bits ]
+                 | SubtreeSize [ w_size bits ] | pad | content bytes
+                 -- leaf --
+                 | pad | varint len | utf8 bytes
+
+with ``w_code = bits_for_count(|parent_desc| + 1)`` and ``w_size =
+bits_for(parent_content_size)`` — except at the root, whose size field
+is a fixed 32 bits (it has no parent).  Field widths depend on sizes
+that depend on field widths; :func:`encode_document` resolves the
+recursion with a bottom-up fixpoint (it converges in a handful of
+rounds because sizes grow monotonically).
+
+Byte alignment: every item header is padded to a byte frontier before
+raw bytes follow, matching the paper's size accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.skipindex.bitio import BitWriter, bits_for, bits_for_count
+from repro.xmlkit.dictionary import TagDictionary
+from repro.xmlkit.dom import Node
+
+MAGIC = b"XSKP"
+VERSION = 1
+ROOT_SIZE_BITS = 32
+
+_TEXT = 0
+_ELEM = 1
+
+
+def _varint_size(value: int) -> int:
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+class _Elem:
+    """Internal analysis node: merged items + descendant tag set."""
+
+    __slots__ = (
+        "tag",
+        "items",
+        "desc_tags",
+        "desc_list",
+        "content_size",
+        "text",
+        "header_bytes",
+    )
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.items: List[Tuple[int, object]] = []  # (_TEXT, str) | (_ELEM, _Elem)
+        self.desc_tags: frozenset = frozenset()
+        self.desc_list: Tuple[str, ...] = ()
+        self.content_size = 0  # bytes of the children region (internal only)
+        self.text = ""  # leaf text
+        self.header_bytes = 0
+
+    @property
+    def is_internal(self) -> bool:
+        return any(kind == _ELEM for kind, _item in self.items)
+
+
+class EncodingStats:
+    """Byte accounting for Fig. 8: structure vs text."""
+
+    def __init__(self):
+        self.total_bytes = 0
+        self.text_bytes = 0
+        self.dictionary_bytes = 0
+        self.fixpoint_rounds = 0
+
+    @property
+    def structure_bytes(self) -> int:
+        """Everything that is not raw text content nor the dictionary."""
+        return self.total_bytes - self.text_bytes - self.dictionary_bytes
+
+    def struct_text_ratio(self) -> float:
+        """The paper's Y-axis for Fig. 8: structure / text length."""
+        if self.text_bytes == 0:
+            return float("inf")
+        return self.structure_bytes / self.text_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EncodingStats(total=%d, text=%d, struct=%d)" % (
+            self.total_bytes,
+            self.text_bytes,
+            self.structure_bytes,
+        )
+
+
+class EncodedDocument:
+    """The encoded byte stream plus its dictionary and accounting."""
+
+    def __init__(
+        self,
+        data: bytes,
+        dictionary: TagDictionary,
+        stats: EncodingStats,
+        root_offset: int,
+    ):
+        self.data = data
+        self.dictionary = dictionary
+        self.stats = stats
+        self.root_offset = root_offset  # offset of the root item
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "EncodedDocument(%d bytes, %d tags)" % (
+            len(self.data),
+            len(self.dictionary),
+        )
+
+
+def _analyze(node: Node) -> _Elem:
+    """Build the analysis tree: merge adjacent text, collect DescTag."""
+    elem = _Elem(node.tag)
+    tags: set = set()
+    pending_text: List[str] = []
+
+    def flush_text() -> None:
+        if pending_text:
+            elem.items.append((_TEXT, "".join(pending_text)))
+            del pending_text[:]
+
+    for child in node.children:
+        if isinstance(child, str):
+            pending_text.append(child)
+        else:
+            flush_text()
+            sub = _analyze(child)
+            elem.items.append((_ELEM, sub))
+            tags.add(sub.tag)
+            tags |= sub.desc_tags
+    flush_text()
+    elem.desc_tags = frozenset(tags)
+    if not elem.is_internal:
+        elem.text = "".join(
+            item for kind, item in elem.items if kind == _TEXT  # type: ignore[misc]
+        )
+    return elem
+
+
+def _order_desc_list(tags: frozenset, dictionary: TagDictionary) -> Tuple[str, ...]:
+    return tuple(sorted(tags, key=dictionary.code))
+
+
+def _compute_sizes(
+    root: _Elem, dictionary: TagDictionary, stats: EncodingStats
+) -> None:
+    """Bottom-up fixpoint over content sizes and field widths."""
+    all_tags = frozenset(dictionary.tags())
+    root_parent_desc = _order_desc_list(all_tags, dictionary)
+
+    def sizing_pass() -> bool:
+        changed = False
+
+        def visit(elem: _Elem, parent_desc: Sequence[str], parent_size_bits: int) -> int:
+            """Return the full record size of ``elem``; update content_size."""
+            code_width = bits_for_count(len(parent_desc) + 1)
+            header_bits = code_width + 1  # code + internal flag
+            if elem.is_internal:
+                header_bits += len(parent_desc) + parent_size_bits
+            header_bytes = (header_bits + 7) // 8
+            elem.header_bytes = header_bytes
+            if not elem.is_internal:
+                text = elem.text.encode("utf-8")
+                return header_bytes + _varint_size(len(text)) + len(text)
+            desc = _order_desc_list(elem.desc_tags, dictionary)
+            elem.desc_list = desc
+            child_size_bits = bits_for(elem.content_size)
+            child_code_width = bits_for_count(len(desc) + 1)
+            content = 0
+            for kind, item in elem.items:
+                if kind == _TEXT:
+                    text = item.encode("utf-8")  # type: ignore[union-attr]
+                    content += (
+                        (child_code_width + 7) // 8
+                        + _varint_size(len(text))
+                        + len(text)
+                    )
+                else:
+                    content += visit(item, desc, child_size_bits)  # type: ignore[arg-type]
+            if content != elem.content_size:
+                elem.content_size = content
+                nonlocal_changed[0] = True
+            return elem.header_bytes + content
+
+        nonlocal_changed = [False]
+        visit(root, root_parent_desc, ROOT_SIZE_BITS)
+        changed = nonlocal_changed[0]
+        return changed
+
+    rounds = 0
+    while sizing_pass():
+        rounds += 1
+        if rounds > 64:
+            raise RuntimeError("Skip-index sizing fixpoint did not converge")
+    stats.fixpoint_rounds = rounds
+
+
+def _emit(
+    elem: _Elem,
+    writer: BitWriter,
+    parent_desc: Sequence[str],
+    parent_size_bits: int,
+    dictionary: TagDictionary,
+    stats: EncodingStats,
+) -> None:
+    code_width = bits_for_count(len(parent_desc) + 1)
+    code = parent_desc.index(elem.tag) + 1
+    writer.write_bits(code, code_width)
+    internal = elem.is_internal
+    writer.write_bit(1 if internal else 0)
+    if not internal:
+        text = elem.text.encode("utf-8")
+        writer.write_varint(len(text))
+        writer.write_bytes(text)
+        stats.text_bytes += len(text)
+        return
+    desc = elem.desc_list
+    desc_set = elem.desc_tags
+    bitmap = 0
+    for tag in parent_desc:
+        bitmap = (bitmap << 1) | (1 if tag in desc_set else 0)
+    writer.write_bits(bitmap, len(parent_desc))
+    writer.write_bits(elem.content_size, parent_size_bits)
+    writer.align()
+    start = writer.tell()
+    child_size_bits = bits_for(elem.content_size)
+    child_code_width = bits_for_count(len(desc) + 1)
+    for kind, item in elem.items:
+        if kind == _TEXT:
+            writer.write_bits(_TEXT, child_code_width)
+            text = item.encode("utf-8")  # type: ignore[union-attr]
+            writer.write_varint(len(text))
+            writer.write_bytes(text)
+            stats.text_bytes += len(text)
+        else:
+            _emit(item, writer, desc, child_size_bits, dictionary, stats)  # type: ignore[arg-type]
+    emitted = writer.tell() - start
+    if emitted != elem.content_size:
+        raise AssertionError(
+            "size mismatch for <%s>: planned %d, emitted %d"
+            % (elem.tag, elem.content_size, emitted)
+        )
+
+
+def encode_document(
+    root: Node, dictionary: Optional[TagDictionary] = None
+) -> EncodedDocument:
+    """Encode a DOM tree into the TCSBR Skip-index format.
+
+    ``dictionary`` defaults to the tree's own tag dictionary (first-seen
+    order).  Raises ``KeyError`` if a supplied dictionary misses tags.
+    """
+    if dictionary is None:
+        dictionary = TagDictionary.from_tree(root)
+    stats = EncodingStats()
+    analyzed = _analyze(root)
+    _compute_sizes(analyzed, dictionary, stats)
+
+    writer = BitWriter()
+    writer.write_bytes(MAGIC)
+    writer.write_bytes(bytes([VERSION]))
+    writer.write_varint(len(dictionary))
+    for tag in dictionary.tags():
+        encoded = tag.encode("utf-8")
+        writer.write_varint(len(encoded))
+        writer.write_bytes(encoded)
+    stats.dictionary_bytes = writer.tell()
+    root_offset = writer.tell()
+
+    all_tags = frozenset(dictionary.tags())
+    root_parent_desc = _order_desc_list(all_tags, dictionary)
+    _emit(analyzed, writer, root_parent_desc, ROOT_SIZE_BITS, dictionary, stats)
+    data = writer.getvalue()
+    stats.total_bytes = len(data)
+    return EncodedDocument(data, dictionary, stats, root_offset)

@@ -1,0 +1,187 @@
+"""Cost model: Meter counts -> simulated seconds (Table 1).
+
+Table 1 of the paper gives the two dominating linear costs for three
+platform contexts:
+
+===================================  ==============  ===========
+Context                              Communication   Decryption
+===================================  ==============  ===========
+Hardware based (future smart card)   0.5 MB/s        0.15 MB/s
+Software based - Internet            0.1 MB/s        1.2 MB/s
+Software based - LAN                 10 MB/s         1.2 MB/s
+===================================  ==============  ===========
+
+On top of these we model:
+
+* hashing (SHA-1) throughput inside the SOE and a fixed cost per Merkle
+  recombination — integrity checking adds 32–38 % for ECB-MHT in the
+  paper (Fig. 11), which pins the hash throughput around 1 MB/s on the
+  card;
+* access-control CPU: a per-token-operation and per-event cost.  The
+  paper reports the access-control share at 2–15 % of the total
+  execution time depending on the policy complexity (Fig. 9); the
+  default constants reproduce that share on the Hospital workloads.
+
+The communication cost covers both directions: the paper's bandwidth
+figure "corresponds to a worst case where each data entering the SOE
+takes part in the result", i.e. authorized output leaves through the
+same channel — so delivered bytes are charged too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.metrics import Meter
+
+MB = 1_000_000.0
+
+
+class PlatformContext:
+    """One row of Table 1 plus SOE CPU constants."""
+
+    def __init__(
+        self,
+        name: str,
+        communication_bps: float,
+        decryption_bps: float,
+        hash_bps: float = 1.0 * MB,
+        token_op_cost_s: float = 2.0e-6,
+        event_cost_s: float = 1.0e-6,
+        hash_node_cost_s: float = 25.0e-6,
+        digest_decrypt_cost_s: float = 0.0,
+    ):
+        self.name = name
+        self.communication_bps = communication_bps
+        self.decryption_bps = decryption_bps
+        self.hash_bps = hash_bps
+        self.token_op_cost_s = token_op_cost_s
+        self.event_cost_s = event_cost_s
+        self.hash_node_cost_s = hash_node_cost_s
+        self.digest_decrypt_cost_s = digest_decrypt_cost_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PlatformContext(%r)" % self.name
+
+
+#: The three contexts of Table 1.
+CONTEXTS: Dict[str, PlatformContext] = {
+    "smartcard": PlatformContext(
+        "Hardware based (future smart card)",
+        communication_bps=0.5 * MB,
+        decryption_bps=0.15 * MB,
+        hash_bps=1.0 * MB,
+        token_op_cost_s=2.0e-6,
+        event_cost_s=1.0e-6,
+    ),
+    "sw-internet": PlatformContext(
+        "Software based - Internet connection",
+        communication_bps=0.1 * MB,
+        decryption_bps=1.2 * MB,
+        hash_bps=8.0 * MB,
+        token_op_cost_s=0.2e-6,
+        event_cost_s=0.1e-6,
+    ),
+    "sw-lan": PlatformContext(
+        "Software based - LAN connection",
+        communication_bps=10.0 * MB,
+        decryption_bps=1.2 * MB,
+        hash_bps=8.0 * MB,
+        token_op_cost_s=0.2e-6,
+        event_cost_s=0.1e-6,
+    ),
+}
+
+
+class TimeBreakdown:
+    """Simulated execution time, split as in Fig. 9's histograms."""
+
+    def __init__(
+        self,
+        communication: float,
+        decryption: float,
+        access_control: float,
+        integrity: float,
+    ):
+        self.communication = communication
+        self.decryption = decryption
+        self.access_control = access_control
+        self.integrity = integrity
+
+    @property
+    def total(self) -> float:
+        return (
+            self.communication + self.decryption + self.access_control + self.integrity
+        )
+
+    def shares(self) -> Dict[str, float]:
+        """Fractions of the total per component (0 when total is 0)."""
+        total = self.total
+        if total == 0:
+            return {
+                "communication": 0.0,
+                "decryption": 0.0,
+                "access_control": 0.0,
+                "integrity": 0.0,
+            }
+        return {
+            "communication": self.communication / total,
+            "decryption": self.decryption / total,
+            "access_control": self.access_control / total,
+            "integrity": self.integrity / total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            "TimeBreakdown(total=%.3fs, comm=%.3f, dec=%.3f, ac=%.3f, int=%.3f)"
+            % (
+                self.total,
+                self.communication,
+                self.decryption,
+                self.access_control,
+                self.integrity,
+            )
+        )
+
+
+class CostModel:
+    """Convert a :class:`Meter` into a :class:`TimeBreakdown`."""
+
+    def __init__(self, context: PlatformContext):
+        self.context = context
+
+    def breakdown(self, meter: Meter) -> TimeBreakdown:
+        ctx = self.context
+        communication = (
+            meter.bytes_transferred + meter.bytes_delivered
+        ) / ctx.communication_bps
+        decryption = meter.bytes_decrypted / ctx.decryption_bps
+        access_control = (
+            meter.token_ops * ctx.token_op_cost_s + meter.events * ctx.event_cost_s
+        )
+        integrity = (
+            meter.bytes_hashed / ctx.hash_bps
+            + meter.hash_nodes * ctx.hash_node_cost_s
+            + meter.digest_decrypts * ctx.digest_decrypt_cost_s
+        )
+        return TimeBreakdown(communication, decryption, access_control, integrity)
+
+    def total_seconds(self, meter: Meter) -> float:
+        return self.breakdown(meter).total
+
+    def lower_bound_seconds(
+        self, authorized_bytes: int, with_integrity: bool = False
+    ) -> float:
+        """The paper's LWB oracle: read exactly the authorized bytes and
+        decrypt them (one pass, no analysis).
+
+        With integrity, the oracle still hashes what it reads and
+        decrypts one digest per chunk (the minimum the scheme allows).
+        """
+        ctx = self.context
+        # The oracle both receives the bytes and delivers the result.
+        seconds = (2 * authorized_bytes) / ctx.communication_bps
+        seconds += authorized_bytes / ctx.decryption_bps
+        if with_integrity:
+            seconds += authorized_bytes / ctx.hash_bps
+        return seconds

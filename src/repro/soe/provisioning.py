@@ -1,0 +1,206 @@
+"""Key and policy provisioning over the secured channel (Fig. 2).
+
+"This access control policy as well as the key(s) required to decrypt
+the document can be permanently hosted by the SOE, refreshed or
+downloaded via a secure channel from different sources (trusted third
+party, security server, parent or teacher, etc.)." — Section 2.
+
+This module models that third party: a :class:`ProvisioningServer`
+holds document keys and per-``(document, subject)`` policies, and
+issues sealed :class:`Credential` blobs that only an SOE knowing the
+channel secret can open.  Credentials carry an optional expiry,
+supporting the *provisional authorizations* the introduction motivates
+("a researcher may be granted an exceptional and time-limited access").
+
+Sealing uses HMAC-SHA1 authentication plus position-XOR XTEA
+encryption from the crypto substrate — the same primitives as the
+document pipeline, so no new trust assumptions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.accesscontrol.model import AccessRule, Policy
+from repro.crypto.modes import decrypt_positioned, encrypt_positioned, pad_to_block
+from repro.crypto.xtea import Xtea
+
+_MAC_SIZE = 20
+
+
+class ProvisioningError(Exception):
+    """Credential rejected: tampered, expired or unknown."""
+
+
+def serialize_policy(policy: Policy) -> str:
+    """Stable text form of a policy (rules as ``sign object`` lines)."""
+    payload = {
+        "subject": policy.subject,
+        "dummy_tag": policy.dummy_tag,
+        "rules": [
+            {"sign": rule.sign, "object": str(rule.object), "name": rule.name}
+            for rule in policy.rules
+        ],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def deserialize_policy(text: str) -> Policy:
+    """Inverse of :func:`serialize_policy`.
+
+    Note: the stored rules already have ``USER`` bound (binding happens
+    at policy construction), so the subject is carried for reference
+    and re-binding is a no-op.
+    """
+    payload = json.loads(text)
+    rules = [
+        AccessRule(item["sign"], item["object"], item.get("name") or None)
+        for item in payload["rules"]
+    ]
+    return Policy(
+        rules,
+        subject=payload.get("subject", ""),
+        dummy_tag=payload.get("dummy_tag"),
+    )
+
+
+class Credential:
+    """A sealed (document key + policy + expiry) blob."""
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+
+    def __len__(self) -> int:
+        return len(self.blob)
+
+
+class ProvisioningServer:
+    """Trusted third party issuing credentials over the secure channel.
+
+    ``channel_secret`` is the long-term secret shared with the SOE
+    (certified at SOE personalization time in a real deployment).
+    """
+
+    def __init__(self, channel_secret: bytes):
+        if len(channel_secret) < 16:
+            raise ValueError("channel secret must be at least 16 bytes")
+        self._secret = channel_secret
+        self._document_keys: Dict[str, bytes] = {}
+        self._policies: Dict[Tuple[str, str], Policy] = {}
+
+    # ------------------------------------------------------------------
+    def register_document(self, document_id: str, key: bytes) -> None:
+        self._document_keys[document_id] = key
+
+    def grant(self, document_id: str, subject: str, policy: Policy) -> None:
+        self._policies[(document_id, subject)] = policy
+
+    def revoke(self, document_id: str, subject: str) -> None:
+        """Dynamic access control: drop the subject's policy; already-
+        issued credentials die at their expiry."""
+        self._policies.pop((document_id, subject), None)
+
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        document_id: str,
+        subject: str,
+        expires_at: Optional[float] = None,
+    ) -> Credential:
+        """Issue a sealed credential for ``(document, subject)``."""
+        key = self._document_keys.get(document_id)
+        if key is None:
+            raise ProvisioningError("unknown document %r" % document_id)
+        policy = self._policies.get((document_id, subject))
+        if policy is None:
+            raise ProvisioningError(
+                "no grant for subject %r on document %r" % (subject, document_id)
+            )
+        payload = json.dumps(
+            {
+                "document": document_id,
+                "subject": subject,
+                "key": key.hex(),
+                "policy": serialize_policy(policy),
+                "expires_at": expires_at,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return Credential(self._seal(payload))
+
+    # ------------------------------------------------------------------
+    def _channel_key(self) -> bytes:
+        return hashlib.sha1(b"channel|" + self._secret).digest()[:16]
+
+    def _seal(self, payload: bytes) -> bytes:
+        mac = hmac.new(self._secret, payload, hashlib.sha1).digest()
+        body = len(payload).to_bytes(4, "big") + payload + mac
+        cipher = Xtea(self._channel_key())
+        return encrypt_positioned(cipher, pad_to_block(body), 0)
+
+    def unseal(self, credential: Credential) -> bytes:
+        """Open a credential (the SOE side shares the secret)."""
+        cipher = Xtea(self._channel_key())
+        body = decrypt_positioned(cipher, credential.blob, 0)
+        if len(body) < 4 + _MAC_SIZE:
+            raise ProvisioningError("credential too short")
+        length = int.from_bytes(body[:4], "big")
+        if length < 0 or 4 + length + _MAC_SIZE > len(body):
+            raise ProvisioningError("credential framing corrupted")
+        payload = body[4 : 4 + length]
+        mac = body[4 + length : 4 + length + _MAC_SIZE]
+        expected = hmac.new(self._secret, payload, hashlib.sha1).digest()
+        if not hmac.compare_digest(mac, expected):
+            raise ProvisioningError("credential authentication failed")
+        return payload
+
+
+class SoeKeyStore:
+    """SOE-side credential handling: unseal, validate, expose secrets.
+
+    The store holds the channel secret in the SOE's secure stable
+    storage (assumption 2 of Section 2) and validates expiry against
+    the time source the caller supplies — the SOE itself has no clock;
+    the paper's provisional authorizations rely on the operator feeding
+    a trusted time.
+    """
+
+    def __init__(self, channel_secret: bytes):
+        self._server_view = ProvisioningServer(channel_secret)
+        self._unlocked: Dict[str, Tuple[bytes, Policy, Optional[float]]] = {}
+
+    def install(self, credential: Credential, now: float) -> str:
+        """Unseal and install a credential; returns the document id."""
+        payload = json.loads(self._server_view.unseal(credential))
+        expires_at = payload.get("expires_at")
+        if expires_at is not None and now > expires_at:
+            raise ProvisioningError("credential expired")
+        document_id = payload["document"]
+        self._unlocked[document_id] = (
+            bytes.fromhex(payload["key"]),
+            deserialize_policy(payload["policy"]),
+            expires_at,
+        )
+        return document_id
+
+    def key_for(self, document_id: str, now: float) -> bytes:
+        key, _policy, expires_at = self._entry(document_id, now)
+        return key
+
+    def policy_for(self, document_id: str, now: float) -> Policy:
+        _key, policy, _expires_at = self._entry(document_id, now)
+        return policy
+
+    def _entry(self, document_id: str, now: float):
+        try:
+            entry = self._unlocked[document_id]
+        except KeyError:
+            raise ProvisioningError("no credential for %r" % document_id)
+        expires_at = entry[2]
+        if expires_at is not None and now > expires_at:
+            del self._unlocked[document_id]
+            raise ProvisioningError("credential expired")
+        return entry

@@ -1,0 +1,207 @@
+"""End-to-end secure pipeline (the architecture of Fig. 2).
+
+``prepare_document`` performs the publisher-side work: Skip-index
+encode the XML document, then encrypt/digest it for the untrusted
+terminal under one of the Fig. 11 schemes.
+
+:class:`SecureSession` performs the SOE-side work: it opens a
+decrypting, integrity-checking view on the stored bytes, drives the
+Skip-index decoder and the streaming evaluator over it, and accounts
+every primitive cost in a :class:`~repro.metrics.Meter`, converted to
+simulated seconds by the :mod:`~repro.soe.costmodel`.
+
+The tag dictionary and the document key are SOE-resident secrets
+(Section 2: delivered over a secured channel), so reading them is not
+charged to the terminal link.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.accesscontrol.evaluator import StreamingEvaluator
+from repro.accesscontrol.model import Policy
+from repro.crypto.integrity import BaseScheme, SecureBytes, SecureDocument, make_scheme
+from repro.crypto.chunks import ChunkLayout
+from repro.metrics import Meter
+from repro.skipindex.decoder import SkipIndexNavigator
+from repro.skipindex.encoder import EncodedDocument, encode_document
+from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext, TimeBreakdown
+from repro.xmlkit.dom import Node
+from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event, events_to_tree
+from repro.xpath.ast import Path
+
+
+class PreparedDocument:
+    """Publisher output: the encoded document + its protected form."""
+
+    def __init__(
+        self,
+        encoded: EncodedDocument,
+        scheme: BaseScheme,
+        secure: SecureDocument,
+    ):
+        self.encoded = encoded
+        self.scheme = scheme
+        self.secure = secure
+
+    @property
+    def encoded_size(self) -> int:
+        return len(self.encoded.data)
+
+    @property
+    def stored_size(self) -> int:
+        return self.secure.stored_size()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PreparedDocument(%s, %d encoded bytes)" % (
+            self.scheme.name,
+            self.encoded_size,
+        )
+
+
+def prepare_document(
+    tree: Node,
+    scheme: str = "ECB-MHT",
+    key: bytes = b"\x00" * 16,
+    layout: Optional[ChunkLayout] = None,
+) -> PreparedDocument:
+    """Encode ``tree`` with the Skip index and protect it for storage."""
+    encoded = encode_document(tree)
+    scheme_obj = make_scheme(scheme, key=key, layout=layout)
+    secure = scheme_obj.protect(encoded.data)
+    return PreparedDocument(encoded, scheme_obj, secure)
+
+
+def delivered_bytes(events: List[Event]) -> int:
+    """Size estimate of the authorized view leaving the SOE.
+
+    The view leaves in its compact encoded form: tags cost a dictionary
+    code (~1 byte in our accounting) and text costs its UTF-8 length —
+    comparable to the TC encoding of the result.
+    """
+    total = 0
+    for event in events:
+        if event[0] == TEXT:
+            total += len(event[1].encode("utf-8"))
+        elif event[0] == OPEN:
+            total += 2
+        else:
+            total += 1
+    return total
+
+
+class SessionResult:
+    """Authorized view + cost accounting of one SOE run."""
+
+    def __init__(
+        self,
+        events: List[Event],
+        meter: Meter,
+        breakdown: TimeBreakdown,
+        context: PlatformContext,
+    ):
+        self.events = events
+        self.meter = meter
+        self.breakdown = breakdown
+        self.context = context
+
+    @property
+    def seconds(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def result_bytes(self) -> int:
+        return delivered_bytes(self.events)
+
+    def throughput_bps(self, input_bytes: int) -> float:
+        """Input-consumption throughput (the Y-axis of Fig. 12)."""
+        if self.seconds == 0:
+            return float("inf")
+        return input_bytes / self.seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SessionResult(%.3fs, %d events)" % (self.seconds, len(self.events))
+
+
+class SecureSession:
+    """One (document, subject) SOE session.
+
+    Parameters
+    ----------
+    prepared:
+        Publisher output (:func:`prepare_document`).
+    policy:
+        The subject's access-control policy (``USER`` already bound).
+    query:
+        Optional XPath query intersected with the authorized view.
+    context:
+        Table 1 platform context name or a custom
+        :class:`PlatformContext`.
+    use_skip_index:
+        ``False`` reproduces the Brute-Force strategy: the evaluator
+        sees every event and no subtree is ever skipped.
+    """
+
+    def __init__(
+        self,
+        prepared: PreparedDocument,
+        policy: Policy,
+        query: Union[str, Path, None] = None,
+        context: Union[str, PlatformContext] = "smartcard",
+        use_skip_index: bool = True,
+    ):
+        self.prepared = prepared
+        self.policy = policy
+        self.query = query
+        self.context = (
+            CONTEXTS[context] if isinstance(context, str) else context
+        )
+        self.use_skip_index = use_skip_index
+
+    def run(self) -> SessionResult:
+        meter = Meter()
+        reader = self.prepared.scheme.reader(self.prepared.secure, meter)
+        view = SecureBytes(reader)
+        navigator = SkipIndexNavigator(
+            view,
+            dictionary=self.prepared.encoded.dictionary,
+            start_offset=self.prepared.encoded.root_offset,
+            meter=meter,
+            provide_meta=self.use_skip_index,
+        )
+        evaluator = StreamingEvaluator(
+            self.policy,
+            query=self.query,
+            meter=meter,
+            enable_skipping=self.use_skip_index,
+        )
+        events = evaluator.run(navigator)
+        meter.bytes_delivered += delivered_bytes(events)
+        breakdown = CostModel(self.context).breakdown(meter)
+        return SessionResult(events, meter, breakdown, self.context)
+
+
+def lwb_bytes(view_events: List[Event]) -> int:
+    """Encoded size of the authorized view — what the LWB oracle reads.
+
+    The oracle knows in advance where the authorized fragments are; it
+    reads exactly their encoded bytes.  We measure that as the size of
+    the Skip-index encoding of the view itself.
+    """
+    if not view_events:
+        return 0
+    tree = events_to_tree(view_events)
+    return len(encode_document(tree).data)
+
+
+def lwb_seconds(
+    view_events: List[Event],
+    context: Union[str, PlatformContext] = "smartcard",
+    with_integrity: bool = False,
+) -> float:
+    """Simulated time of the theoretical LWB oracle (Section 7)."""
+    platform = CONTEXTS[context] if isinstance(context, str) else context
+    return CostModel(platform).lower_bound_seconds(
+        lwb_bytes(view_events), with_integrity=with_integrity
+    )

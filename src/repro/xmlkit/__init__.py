@@ -1,0 +1,37 @@
+"""XML substrate: event model, streaming parser, DOM, serializer, dictionary.
+
+This package provides the minimal XML machinery the paper relies on:
+
+* a SAX-like event model (:mod:`repro.xmlkit.events`) with *open*, *value*
+  (text) and *close* events, exactly the three events the paper's
+  streaming evaluator consumes (Section 3.1);
+* a small streaming parser (:mod:`repro.xmlkit.parser`) that turns XML
+  text into those events without materializing the document;
+* a lightweight DOM (:mod:`repro.xmlkit.dom`) used by generators, by the
+  non-streaming reference evaluator and by the tests;
+* a serializer (:mod:`repro.xmlkit.serializer`);
+* a tag dictionary (:mod:`repro.xmlkit.dictionary`) used by the
+  dictionary-based structure compression the Skip index builds on
+  (Section 4.1).
+"""
+
+from repro.xmlkit.events import OPEN, TEXT, CLOSE, Event, events_to_tree
+from repro.xmlkit.dom import Node, text_node
+from repro.xmlkit.parser import parse_document, iter_events
+from repro.xmlkit.serializer import serialize, serialize_events
+from repro.xmlkit.dictionary import TagDictionary
+
+__all__ = [
+    "OPEN",
+    "TEXT",
+    "CLOSE",
+    "Event",
+    "Node",
+    "text_node",
+    "TagDictionary",
+    "parse_document",
+    "iter_events",
+    "serialize",
+    "serialize_events",
+    "events_to_tree",
+]

@@ -1,0 +1,175 @@
+"""Lightweight DOM used by generators, the reference evaluator and tests.
+
+The streaming pipeline never materializes documents (that is the whole
+point of the paper); this tree representation exists so that
+
+* dataset generators can conveniently build documents,
+* the *reference* (oracle) access-control evaluator — against which the
+  streaming evaluator is differential-tested — can navigate freely,
+* tests can compare authorized views structurally.
+
+A node's children list mixes :class:`Node` (element children) and plain
+``str`` (text children), mirroring XML's mixed content.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
+
+Child = Union["Node", str]
+
+
+class Node:
+    """An XML element: a tag plus an ordered list of children.
+
+    Children are either :class:`Node` instances or ``str`` text chunks.
+    """
+
+    __slots__ = ("tag", "children")
+
+    def __init__(self, tag: str, children: Optional[Sequence[Child]] = None):
+        self.tag = tag
+        self.children: List[Child] = list(children) if children else []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add(self, child: Child) -> "Node":
+        """Append ``child`` and return it (fluent tree building)."""
+        self.children.append(child)
+        return child if isinstance(child, Node) else self
+
+    def element(self, tag: str, text: Optional[str] = None) -> "Node":
+        """Append a new element child, optionally with a text child."""
+        node = Node(tag)
+        if text is not None:
+            node.children.append(text)
+        self.children.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def element_children(self) -> Iterator["Node"]:
+        """Iterate over element (non-text) children."""
+        for child in self.children:
+            if isinstance(child, Node):
+                yield child
+
+    def text(self) -> str:
+        """Concatenation of the *direct* text children."""
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    def find(self, tag: str) -> Optional["Node"]:
+        """First element child with the given tag, or ``None``."""
+        for child in self.element_children():
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> List["Node"]:
+        """All element children with the given tag."""
+        return [c for c in self.element_children() if c.tag == tag]
+
+    def descendants(self) -> Iterator["Node"]:
+        """Iterate over this node and all element descendants, pre-order."""
+        yield self
+        for child in self.element_children():
+            yield from child.descendants()
+
+    def walk(self, visit: Callable[["Node", int], None], depth: int = 1) -> None:
+        """Pre-order traversal calling ``visit(node, depth)``."""
+        visit(self, depth)
+        for child in self.element_children():
+            child.walk(visit, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    def iter_events(self) -> Iterator[Event]:
+        """Yield the open/value/close event stream of this subtree."""
+        stack: List[object] = [self]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, Event):
+                yield item
+            elif isinstance(item, str):
+                yield Event(TEXT, item)
+            else:
+                yield Event(OPEN, item.tag)
+                stack.append(Event(CLOSE, item.tag))
+                for child in reversed(item.children):
+                    stack.append(child)
+
+    # ------------------------------------------------------------------
+    # Statistics (Table 2 of the paper)
+    # ------------------------------------------------------------------
+    def count_elements(self) -> int:
+        """Total number of element nodes in the subtree."""
+        return sum(1 for _ in self.descendants())
+
+    def count_text_nodes(self) -> int:
+        """Total number of text children in the subtree."""
+        total = 0
+        for node in self.descendants():
+            total += sum(1 for c in node.children if isinstance(c, str))
+        return total
+
+    def text_size(self) -> int:
+        """Total size in bytes of all text content (UTF-8)."""
+        total = 0
+        for node in self.descendants():
+            for child in node.children:
+                if isinstance(child, str):
+                    total += len(child.encode("utf-8"))
+        return total
+
+    def max_depth(self) -> int:
+        """Maximum element depth; the root alone has depth 1."""
+        best = 0
+
+        def visit(_node: "Node", depth: int) -> None:
+            nonlocal best
+            if depth > best:
+                best = depth
+
+        self.walk(visit)
+        return best
+
+    def average_depth(self) -> float:
+        """Average depth over all element nodes."""
+        total = 0
+        count = 0
+
+        def visit(_node: "Node", depth: int) -> None:
+            nonlocal total, count
+            total += depth
+            count += 1
+
+        self.walk(visit)
+        return total / count if count else 0.0
+
+    def distinct_tags(self) -> Set[str]:
+        """Set of distinct element tags in the subtree."""
+        return {node.tag for node in self.descendants()}
+
+    # ------------------------------------------------------------------
+    # Comparison / debugging
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.tag == other.tag and self.children == other.children
+
+    def __hash__(self) -> int:  # Nodes are mutable; hash by identity.
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Node(%r, %d children)" % (self.tag, len(self.children))
+
+
+def text_node(tag: str, value: str) -> Node:
+    """Build a leaf element ``<tag>value</tag>``."""
+    return Node(tag, [value])

@@ -1,0 +1,104 @@
+"""Serialize DOM trees or event streams back to XML text.
+
+Synthetic ``@name`` attribute elements produced by the parser (see
+:mod:`repro.xmlkit.parser`) are re-emitted as genuine attributes, so
+``serialize(parse_document(x))`` round-trips documents in our subset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.xmlkit.dom import Node
+from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
+from repro.xmlkit.parser import ATTRIBUTE_PREFIX
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value (double-quote delimited)."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def serialize(node: Node, indent: int = 0, _level: int = 0) -> str:
+    """Serialize ``node`` to XML text.
+
+    ``indent > 0`` pretty-prints with that many spaces per level; the
+    default emits compact XML with no inter-element whitespace (important
+    for size accounting — Fig. 8 measures structure vs text bytes).
+    """
+    parts: List[str] = []
+    _serialize_into(node, parts, indent, _level)
+    return "".join(parts)
+
+
+def _serialize_into(node: Node, parts: List[str], indent: int, level: int) -> None:
+    pad = " " * (indent * level) if indent else ""
+    newline = "\n" if indent else ""
+    attrs: List[str] = []
+    regular: List[object] = []
+    for child in node.children:
+        if isinstance(child, Node) and child.tag.startswith(ATTRIBUTE_PREFIX):
+            attrs.append(
+                ' %s="%s"' % (child.tag[len(ATTRIBUTE_PREFIX):], escape_attribute(child.text()))
+            )
+        else:
+            regular.append(child)
+    open_tag = "%s<%s%s" % (pad, node.tag, "".join(attrs))
+    if not regular:
+        parts.append(open_tag + "/>" + newline)
+        return
+    only_text = all(isinstance(c, str) for c in regular)
+    if only_text:
+        parts.append(open_tag + ">")
+        for child in regular:
+            parts.append(escape_text(child))  # type: ignore[arg-type]
+        parts.append("</%s>%s" % (node.tag, newline))
+        return
+    parts.append(open_tag + ">" + newline)
+    for child in regular:
+        if isinstance(child, str):
+            parts.append("%s%s%s" % (" " * (indent * (level + 1)) if indent else "",
+                                     escape_text(child), newline))
+        else:
+            _serialize_into(child, parts, indent, level + 1)
+    parts.append("%s</%s>%s" % (pad, node.tag, newline))
+
+
+def serialize_events(events: Iterable[Event]) -> str:
+    """Serialize an event stream to compact XML text.
+
+    Synthetic attribute elements are *not* folded back here (the stream
+    form has already committed to the element view); they are emitted as
+    ``<@name>`` elements, which :func:`repro.xmlkit.parser.iter_events`
+    does not re-read.  Use :func:`serialize` on a tree when true
+    round-tripping is needed.
+    """
+    parts: List[str] = []
+    pending_open: str | None = None
+
+    def flush(self_close: bool) -> None:
+        nonlocal pending_open
+        if pending_open is not None:
+            parts.append("<%s%s>" % (pending_open, "/" if self_close else ""))
+            pending_open = None
+
+    for event in events:
+        kind = event[0]
+        if kind == OPEN:
+            flush(False)
+            pending_open = event[1]
+        elif kind == TEXT:
+            flush(False)
+            parts.append(escape_text(event[1]))
+        elif kind == CLOSE:
+            if pending_open is not None:
+                flush(True)
+            else:
+                parts.append("</%s>" % event[1])
+    flush(True)
+    return "".join(parts)

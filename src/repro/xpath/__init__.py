@@ -1,0 +1,40 @@
+"""XPath fragment ``XP{[],*,//}`` (Miklau & Suciu) used by the paper.
+
+The access-control model delineates rule scopes with XPath expressions
+drawn from the fragment consisting of node tests, the child axis (``/``),
+the descendant axis (``//``), wildcards (``*``) and predicates
+(``[...]``) — Section 2 of the paper.  Queries use the same fragment.
+
+* :mod:`repro.xpath.ast` — the abstract syntax tree;
+* :mod:`repro.xpath.parser` — tokenizer and recursive-descent parser;
+* :mod:`repro.xpath.nfa` — compilation to the non-deterministic Access
+  Rule Automata of Section 3.1 (navigational path + predicate paths,
+  ``*`` self-loops for ``//``);
+* :mod:`repro.xpath.containment` — a sound (incomplete) containment
+  test used by the static policy optimizer (Section 3.3).
+"""
+
+from repro.xpath.ast import (
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    Comparison,
+    Path,
+    Predicate,
+    Step,
+)
+from repro.xpath.parser import XPathSyntaxError, parse_xpath
+from repro.xpath.nfa import Automaton, AutomatonState, compile_path
+
+__all__ = [
+    "AXIS_CHILD",
+    "AXIS_DESCENDANT",
+    "Path",
+    "Step",
+    "Predicate",
+    "Comparison",
+    "parse_xpath",
+    "XPathSyntaxError",
+    "Automaton",
+    "AutomatonState",
+    "compile_path",
+]

@@ -1,0 +1,214 @@
+"""Sound (incomplete) containment test for ``XP{[],*,//}``.
+
+Section 3.3 considers exploiting query containment to simplify a system
+of rules, while noting that containment for this fragment is coNP-
+complete [MiS02].  We implement the classical *homomorphism* test
+(Miklau & Suciu): ``covers(p, q)`` returns True only if every node
+matched by ``q`` is matched by ``p`` (sound); it may return False for
+some contained pairs (incomplete) — exactly the trade-off the paper
+alludes to with [ACL01].
+
+The test searches for a homomorphism from ``p``'s tree pattern into
+``q``'s tree pattern:
+
+* the roots map to each other, output node to output node;
+* a node labelled ``*`` maps to any node; a concrete label only to the
+  same label;
+* a child edge maps to a child edge; a descendant edge to any downward
+  path of length >= 1;
+* a comparison on a ``p`` predicate leaf must be *implied* by a
+  comparison on the image node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.xpath.ast import (
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    SELF,
+    WILDCARD,
+    Comparison,
+    Path,
+)
+
+_CHILD = 0
+_DESCENDANT = 1
+
+
+class PatternNode:
+    """A node of a tree pattern (the standard containment formalism)."""
+
+    __slots__ = ("label", "axis", "children", "is_output", "comparison")
+
+    def __init__(self, label: str, axis: int):
+        self.label = label
+        self.axis = axis  # edge type from the parent
+        self.children: List["PatternNode"] = []
+        self.is_output = False
+        self.comparison: Optional[Comparison] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PatternNode(%r%s)" % (self.label, "!" if self.is_output else "")
+
+
+def build_pattern(path: Path) -> PatternNode:
+    """Tree pattern of an absolute path; the root is the document node."""
+    root = PatternNode("", _CHILD)
+    _extend(root, path, mark_output=True)
+    return root
+
+
+def _extend(anchor: PatternNode, path: Path, mark_output: bool) -> None:
+    current = anchor
+    last: Optional[PatternNode] = None
+    for step in path.steps:
+        if step.is_self():
+            last = current
+            continue
+        axis = _DESCENDANT if step.axis == AXIS_DESCENDANT else _CHILD
+        node = PatternNode(step.test, axis)
+        current.children.append(node)
+        for predicate in step.predicates:
+            branch_holder = PatternNode("", _CHILD)
+            _extend(branch_holder, predicate.path, mark_output=False)
+            if branch_holder.children:
+                leaf = _deepest(branch_holder.children[0])
+                if predicate.comparison is not None:
+                    leaf.comparison = predicate.comparison
+                node.children.extend(branch_holder.children)
+            elif predicate.comparison is not None:
+                # `[. op lit]`: the comparison sits on the node itself.
+                node.comparison = _merge_comparison(node.comparison, predicate.comparison)
+        current = node
+        last = node
+    if mark_output and last is not None:
+        last.is_output = True
+
+
+def _deepest(node: PatternNode) -> PatternNode:
+    current = node
+    while current.children:
+        current = current.children[0]
+    return current
+
+
+def _merge_comparison(
+    existing: Optional[Comparison], new: Comparison
+) -> Comparison:
+    # Multiple self comparisons are rare; keep the last (sound because
+    # the homomorphism then requires implying only that one — it may
+    # lose completeness, never soundness, for the *containee* side;
+    # for the container side extra constraints only make covers()
+    # return False more often, which is also sound).
+    del existing
+    return new
+
+
+def _label_covers(general: str, specific: str) -> bool:
+    return general == WILDCARD or general == specific
+
+
+def _comparison_implies(
+    specific: Optional[Comparison], general: Optional[Comparison]
+) -> bool:
+    """Does ``specific`` (on q's node) imply ``general`` (on p's)?"""
+    if general is None:
+        return True
+    if specific is None:
+        return False
+    if specific == general:
+        return True
+    if (
+        isinstance(specific.literal, (int, float))
+        and isinstance(general.literal, (int, float))
+    ):
+        s_op, s_val = specific.operator, float(specific.literal)
+        g_op, g_val = general.operator, float(general.literal)
+        if s_op == "=":
+            return general.matches(repr(s_val))
+        if s_op in (">", ">=") and g_op in (">", ">="):
+            edge = s_val if s_op == ">=" else s_val  # lower bound
+            if g_op == ">":
+                return edge > g_val or (s_op == ">" and edge >= g_val)
+            return edge >= g_val
+        if s_op in ("<", "<=") and g_op in ("<", "<="):
+            if g_op == "<":
+                return s_val < g_val or (s_op == "<" and s_val <= g_val)
+            return s_val <= g_val
+    return False
+
+
+def _node_maps(p: PatternNode, q: PatternNode) -> bool:
+    """Can ``p``'s subtree be embedded at ``q`` (labels/comparisons/
+    children)?  Output flags are handled by the caller."""
+    if not _label_covers(p.label, q.label):
+        return False
+    if not _comparison_implies(q.comparison, p.comparison):
+        return False
+    for p_child in p.children:
+        if not _child_embeds(p_child, q):
+            return False
+    return True
+
+
+def _child_embeds(p_child: PatternNode, q_parent: PatternNode) -> bool:
+    """Embed ``p_child`` below ``q_parent`` honouring the edge type."""
+    if p_child.axis == _CHILD:
+        # A child edge can only map onto a child edge: a descendant
+        # edge in q admits instances with intermediate elements.
+        return any(
+            _maps_with_output(p_child, q)
+            for q in q_parent.children
+            if q.axis == _CHILD
+        )
+    # Descendant edge: any strictly lower node of q's pattern.
+    stack = list(q_parent.children)
+    while stack:
+        q = stack.pop()
+        if _maps_with_output(p_child, q):
+            return True
+        stack.extend(q.children)
+    return False
+
+
+def _maps_with_output(p: PatternNode, q: PatternNode) -> bool:
+    if p.is_output and not q.is_output:
+        return False
+    return _node_maps(p, q)
+
+
+def covers(general: Path, specific: Path) -> bool:
+    """True only if ``general`` matches every node ``specific`` matches.
+
+    Sound but incomplete (homomorphism test).  Both paths must be
+    absolute.
+    """
+    p_root = build_pattern(general)
+    q_root = build_pattern(specific)
+    # Map the virtual document roots onto each other, then embed.
+    for p_child in p_root.children:
+        if not _child_embeds(p_child, q_root):
+            return False
+    return True
+
+
+def scope_covers(general: Path, specific: Path) -> bool:
+    """True only if ``general``'s *scope* contains ``specific``'s scope.
+
+    Access rules propagate to all descendants of their objects
+    (Section 2), so the relation that matters for rule redundancy is
+    containment of the descendant-or-self closures: ``scope(S) ⊆
+    scope(R)`` holds iff every S-match lies inside some R-match's
+    subtree — i.e. is matched by ``R`` or by ``R//*``.
+    """
+    if covers(general, specific):
+        return True
+    from repro.xpath.ast import Step
+
+    extended = Path(
+        tuple(general.steps) + (Step(AXIS_DESCENDANT, WILDCARD),),
+        absolute=True,
+    )
+    return covers(extended, specific)

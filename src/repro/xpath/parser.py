@@ -1,0 +1,279 @@
+"""Tokenizer and recursive-descent parser for ``XP{[],*,//}``.
+
+Grammar (whitespace insignificant outside quoted strings)::
+
+    path        := ('/' | '//')? step (('/' | '//') step)*
+    step        := test predicate*
+    test        := NAME | '*' | '.' | '@' NAME
+    predicate   := '[' rel_path (op literal)? ']'
+    rel_path    := ('//')? step (('/' | '//') step)* | '.'
+    op          := '=' | '!=' | '<' | '<=' | '>' | '>='
+    literal     := NUMBER | STRING | NAME      (bare names are strings,
+                                                'USER' is the subject
+                                                variable)
+
+Paths occurring at top level default to *absolute*; a leading ``//``
+makes the first step use the descendant axis (matching at any depth), a
+leading ``/`` the child axis (the root element itself must match).
+Predicate paths are relative to the step's element; a leading ``//``
+searches the whole subtree.  ``@name`` attribute tests map onto the
+synthetic ``@name`` elements produced by the XML parser.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.xpath.ast import (
+    AXIS_CHILD,
+    AXIS_DESCENDANT,
+    SELF,
+    USER_VARIABLE,
+    Comparison,
+    Path,
+    Predicate,
+    Step,
+)
+
+
+class XPathSyntaxError(ValueError):
+    """Raised on malformed XPath input."""
+
+    def __init__(self, message: str, expression: str, position: int):
+        super().__init__(
+            "%s in %r at position %d" % (message, expression, position)
+        )
+        self.expression = expression
+        self.position = position
+
+
+# Token kinds
+_SLASH = "/"
+_DSLASH = "//"
+_LBRACKET = "["
+_RBRACKET = "]"
+_NAME = "name"
+_STAR = "*"
+_DOT = "."
+_OP = "op"
+_STRING = "string"
+_NUMBER = "number"
+_END = "end"
+
+Token = Tuple[str, object, int]
+
+
+def _tokenize(expression: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    length = len(expression)
+    while i < length:
+        ch = expression[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "/":
+            if i + 1 < length and expression[i + 1] == "/":
+                tokens.append((_DSLASH, "//", i))
+                i += 2
+            else:
+                tokens.append((_SLASH, "/", i))
+                i += 1
+        elif ch == "[":
+            tokens.append((_LBRACKET, "[", i))
+            i += 1
+        elif ch == "]":
+            tokens.append((_RBRACKET, "]", i))
+            i += 1
+        elif ch == "*":
+            tokens.append((_STAR, "*", i))
+            i += 1
+        elif ch == ".":
+            if i + 1 < length and expression[i + 1].isdigit():
+                i = _read_number(expression, i, tokens)
+            else:
+                tokens.append((_DOT, ".", i))
+                i += 1
+        elif ch in "=<>!":
+            if expression.startswith("<=", i) or expression.startswith(
+                ">=", i
+            ) or expression.startswith("!=", i):
+                tokens.append((_OP, expression[i : i + 2], i))
+                i += 2
+            elif ch == "!":
+                raise XPathSyntaxError("stray '!'", expression, i)
+            else:
+                tokens.append((_OP, ch, i))
+                i += 1
+        elif ch in "\"'":
+            end = expression.find(ch, i + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string", expression, i)
+            tokens.append((_STRING, expression[i + 1 : end], i))
+            i = end + 1
+        elif ch.isdigit() or (ch == "-" and i + 1 < length and expression[i + 1].isdigit()):
+            i = _read_number(expression, i, tokens)
+        elif ch.isalpha() or ch in "_@":
+            j = i + 1
+            while j < length and (expression[j].isalnum() or expression[j] in "_-.:"):
+                j += 1
+            # A name followed by more path must not eat a trailing '.'
+            name = expression[i:j]
+            while name.endswith("."):
+                name = name[:-1]
+                j -= 1
+            tokens.append((_NAME, name, i))
+            i = j
+        else:
+            raise XPathSyntaxError("unexpected character %r" % ch, expression, i)
+    tokens.append((_END, None, length))
+    return tokens
+
+
+def _read_number(expression: str, i: int, tokens: List[Token]) -> int:
+    j = i
+    if expression[j] == "-":
+        j += 1
+    while j < len(expression) and (expression[j].isdigit() or expression[j] == "."):
+        j += 1
+    text = expression[i:j]
+    value: object
+    if "." in text:
+        value = float(text)
+    else:
+        value = int(text)
+    tokens.append((_NUMBER, value, i))
+    return j
+
+
+class _Parser:
+    def __init__(self, expression: str):
+        self.expression = expression
+        self.tokens = _tokenize(expression)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.advance()
+        if token[0] != kind:
+            raise XPathSyntaxError(
+                "expected %s, got %r" % (kind, token[1]), self.expression, token[2]
+            )
+        return token
+
+    def error(self, message: str) -> XPathSyntaxError:
+        token = self.peek()
+        return XPathSyntaxError(message, self.expression, token[2])
+
+    # ------------------------------------------------------------------
+    def parse_path(self, absolute: bool) -> Path:
+        steps: List[Step] = []
+        kind = self.peek()[0]
+        if kind == _DSLASH:
+            self.advance()
+            first_axis = AXIS_DESCENDANT
+        elif kind == _SLASH:
+            self.advance()
+            first_axis = AXIS_CHILD
+        elif absolute:
+            # Allow 'a/b' as shorthand for '/a/b' at top level.
+            first_axis = AXIS_CHILD
+        else:
+            first_axis = AXIS_CHILD
+        steps.append(self.parse_step(first_axis))
+        while True:
+            kind = self.peek()[0]
+            if kind == _SLASH:
+                self.advance()
+                steps.append(self.parse_step(AXIS_CHILD))
+            elif kind == _DSLASH:
+                self.advance()
+                steps.append(self.parse_step(AXIS_DESCENDANT))
+            else:
+                break
+        return Path(steps, absolute=absolute)
+
+    def parse_step(self, axis: str) -> Step:
+        token = self.advance()
+        if token[0] == _NAME:
+            test = str(token[1])
+        elif token[0] == _STAR:
+            test = "*"
+        elif token[0] == _DOT:
+            test = SELF
+        else:
+            raise XPathSyntaxError(
+                "expected a node test, got %r" % (token[1],),
+                self.expression,
+                token[2],
+            )
+        predicates: List[Predicate] = []
+        while self.peek()[0] == _LBRACKET:
+            predicates.append(self.parse_predicate())
+        if test == SELF and predicates:
+            raise XPathSyntaxError(
+                "predicates on '.' are not supported", self.expression, token[2]
+            )
+        return Step(axis, test, predicates)
+
+    def parse_predicate(self) -> Predicate:
+        self.expect(_LBRACKET)
+        if self.peek()[0] == _DOT:
+            # `[. op literal]` compares the current element's content.
+            dot = self.advance()
+            path = Path([Step(AXIS_CHILD, SELF)], absolute=False)
+            if self.peek()[0] != _OP:
+                raise XPathSyntaxError(
+                    "'[.]' requires a comparison", self.expression, dot[2]
+                )
+        else:
+            path = self.parse_path(absolute=False)
+        comparison: Optional[Comparison] = None
+        if self.peek()[0] == _OP:
+            op_token = self.advance()
+            literal_token = self.advance()
+            if literal_token[0] == _NAME:
+                literal: object = (
+                    USER_VARIABLE if literal_token[1] == "USER" else str(literal_token[1])
+                )
+            elif literal_token[0] in (_STRING, _NUMBER):
+                literal = literal_token[1]
+            else:
+                raise XPathSyntaxError(
+                    "expected a literal after %r" % (op_token[1],),
+                    self.expression,
+                    literal_token[2],
+                )
+            comparison = Comparison(str(op_token[1]), literal)  # type: ignore[arg-type]
+        self.expect(_RBRACKET)
+        return Predicate(path, comparison)
+
+
+def parse_xpath(expression: str) -> Path:
+    """Parse ``expression`` into an absolute :class:`Path`.
+
+    Raises :class:`XPathSyntaxError` on malformed input or constructs
+    outside ``XP{[],*,//}``.
+    """
+    parser = _Parser(expression)
+    if parser.peek()[0] == _END:
+        raise XPathSyntaxError("empty expression", expression, 0)
+    path = parser.parse_path(absolute=True)
+    token = parser.peek()
+    if token[0] != _END:
+        raise XPathSyntaxError(
+            "trailing input %r" % (token[1],), expression, token[2]
+        )
+    for step in path.steps:
+        if step.is_self():
+            raise XPathSyntaxError(
+                "'.' steps are only allowed inside predicates", expression, 0
+            )
+    return path

@@ -1,0 +1,180 @@
+"""Unit tests for the Authorization Stack and DecideNode (Fig. 4)."""
+
+import pytest
+
+from repro.accesscontrol.authorization import (
+    AccessSnapshot,
+    AuthorizationStack,
+    combine_level,
+    decide,
+)
+from repro.accesscontrol.conditions import (
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    PredicateInstance,
+    RuleInstance,
+)
+from repro.accesscontrol.model import DENY, PENDING, PERMIT, AccessRule
+
+POS = AccessRule("+", "//a")
+NEG = AccessRule("-", "//a")
+POS_PRED = AccessRule("+", "//a[b]")
+NEG_PRED = AccessRule("-", "//a[b]")
+
+
+def active(rule):
+    return RuleInstance(rule, (), 1)
+
+
+def pending(rule):
+    return RuleInstance(rule, (PredicateInstance("R", 0, 1),), 1)
+
+
+def dead(rule):
+    pred = PredicateInstance("R", 0, 1)
+    pred.close_window()
+    return RuleInstance(rule, (pred,), 1)
+
+
+class TestCombineLevel:
+    def test_empty_level_keeps_below(self):
+        assert combine_level(PERMIT, []) == PERMIT
+        assert combine_level(DENY, []) == DENY
+
+    def test_negative_active_wins(self):
+        statuses = [(True, TRUE), (False, TRUE), (True, UNKNOWN)]
+        assert combine_level(PERMIT, statuses) == DENY
+
+    def test_positive_active_wins_without_negative(self):
+        assert combine_level(DENY, [(True, TRUE)]) == PERMIT
+
+    def test_negative_pending_conflicts_with_positive(self):
+        assert combine_level(DENY, [(True, TRUE), (False, UNKNOWN)]) == PENDING
+        assert combine_level(PERMIT, [(True, UNKNOWN), (False, UNKNOWN)]) == PENDING
+
+    def test_negative_pending_alone_over_deny_is_deny(self):
+        # Either resolution leaves the node denied.
+        assert combine_level(DENY, [(False, UNKNOWN)]) == DENY
+
+    def test_negative_pending_alone_over_permit_is_pending(self):
+        assert combine_level(PERMIT, [(False, UNKNOWN)]) == PENDING
+
+    def test_positive_pending_over_permit_is_permit(self):
+        # Either resolution leaves the node permitted.
+        assert combine_level(PERMIT, [(True, UNKNOWN)]) == PERMIT
+
+    def test_positive_pending_over_deny_is_pending(self):
+        assert combine_level(DENY, [(True, UNKNOWN)]) == PENDING
+
+    def test_dead_instances_ignored(self):
+        assert combine_level(DENY, [(False, FALSE), (True, FALSE)]) == DENY
+
+
+class TestDecide:
+    def test_closed_policy(self):
+        assert decide([]) == DENY
+
+    def test_most_specific_wins(self):
+        levels = [[active(POS)], [active(NEG)]]
+        assert decide(levels) == DENY
+        levels = [[active(NEG)], [active(POS)]]
+        assert decide(levels) == PERMIT
+
+    def test_denial_precedence_same_level(self):
+        assert decide([[active(POS), active(NEG)]]) == DENY
+
+    def test_inherited_through_empty_levels(self):
+        assert decide([[active(POS)], [], []]) == PERMIT
+
+    def test_pending_propagates(self):
+        assert decide([[pending(POS)]]) == PENDING
+        assert decide([[active(POS)], [pending(NEG)]]) == PENDING
+
+    def test_stability_under_resolution(self):
+        """A non-pending decision never changes when pendings resolve."""
+        import itertools
+
+        rules = [POS, NEG, POS_PRED, NEG_PRED]
+        for combo in itertools.product([0, 1, 2], repeat=4):
+            instances = []
+            preds = []
+            for rule, mode in zip(rules, combo):
+                if mode == 0:
+                    instances.append(active(rule))
+                    preds.append(None)
+                else:
+                    pred = PredicateInstance("R", 0, 1)
+                    instances.append(RuleInstance(rule, (pred,), 1))
+                    preds.append(pred)
+            levels = [[instances[0], instances[1]], [instances[2], instances[3]]]
+            before = decide(levels)
+            if before == PENDING:
+                continue
+            # Resolve every pending predicate both ways.
+            for resolution in itertools.product([True, False], repeat=4):
+                for pred, mode, satisfied in zip(preds, combo, resolution):
+                    if pred is None:
+                        continue
+                    pred._satisfied = satisfied and mode != 2
+                    pred._closed = True
+                after = decide(levels)
+                assert after == before, (combo, resolution)
+                for pred in preds:
+                    if pred is not None:
+                        pred._satisfied = False
+                        pred._closed = False
+
+
+class TestAuthorizationStack:
+    def test_push_pop_scoping(self):
+        stack = AuthorizationStack()
+        stack.open_level(1)
+        stack.push(1, active(POS))
+        assert stack.current_decision() == PERMIT
+        stack.open_level(2)
+        stack.push(2, active(NEG))
+        assert stack.current_decision() == DENY
+        stack.close_level(2)
+        assert stack.current_decision() == PERMIT
+        stack.close_level(1)
+        assert stack.current_decision() == DENY  # closed policy again
+
+    def test_snapshot_is_frozen(self):
+        stack = AuthorizationStack()
+        stack.push(1, active(POS))
+        snapshot = stack.snapshot()
+        stack.close_level(1)
+        # The snapshot still sees the old entries.
+        assert snapshot.state() == TRUE
+
+    def test_snapshot_cache_per_version(self):
+        stack = AuthorizationStack()
+        stack.push(1, active(POS))
+        assert stack.snapshot() is stack.snapshot()
+        stack.push(2, active(NEG))
+        fresh = stack.snapshot()
+        assert fresh.state() == FALSE
+
+    def test_snapshot_pending_resolves_later(self):
+        stack = AuthorizationStack()
+        pred = PredicateInstance("R", 0, 1)
+        stack.push(1, RuleInstance(POS_PRED, (pred,), 1))
+        snapshot = stack.snapshot()
+        assert snapshot.state() == UNKNOWN
+        pred.mark_satisfied()
+        assert snapshot.state() == TRUE
+
+    def test_snapshot_decided_is_cached(self):
+        stack = AuthorizationStack()
+        stack.push(1, active(NEG))
+        snapshot = stack.snapshot()
+        assert snapshot.state() == FALSE
+        assert snapshot.state() == FALSE  # cached path
+
+    def test_peak_statistics(self):
+        stack = AuthorizationStack()
+        for depth in range(1, 5):
+            stack.push(depth, active(POS))
+        assert stack.peak_entries == 4
+        assert stack.push_count == 4

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.xmlkit.parser import parse_document
+
+DOC = "<shop><item><name>x</name><cost>5</cost></item><secret>k</secret></shop>"
+KEY = "00112233445566778899aabbccddeeff"
+
+
+@pytest.fixture()
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC)
+    return str(path)
+
+
+class TestInspectEncode:
+    def test_inspect(self, xml_file, capsys):
+        assert main(["inspect", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "elements:      5" in out
+        assert "TCSBR" in out
+
+    def test_encode_decode_round_trip(self, xml_file, tmp_path, capsys):
+        encoded = tmp_path / "doc.xskp"
+        assert main(["encode", xml_file, str(encoded)]) == 0
+        assert encoded.stat().st_size > 0
+        assert main(["decode", str(encoded)]) == 0
+        out = capsys.readouterr().out
+        # The decoded pretty print contains the original data.
+        assert "<name>x</name>" in out
+        assert "<secret>k</secret>" in out
+
+
+class TestProtectView:
+    def protect(self, xml_file, tmp_path, scheme="ECB-MHT", capsys=None):
+        store = tmp_path / "doc.store"
+        assert (
+            main(["protect", xml_file, str(store), "--scheme", scheme,
+                  "--key", KEY]) == 0
+        )
+        if capsys is not None:
+            capsys.readouterr()  # drain the protect command's output
+        return store
+
+    def test_store_header(self, xml_file, tmp_path):
+        store = self.protect(xml_file, tmp_path)
+        header = json.loads(store.read_bytes().split(b"\n", 1)[0])
+        assert header["magic"] == "XPROT1"
+        assert header["scheme"] == "ECB-MHT"
+
+    def test_view_with_rules(self, xml_file, tmp_path, capsys):
+        store = self.protect(xml_file, tmp_path, capsys=capsys)
+        assert (
+            main(
+                [
+                    "view", str(store), "--key", KEY,
+                    "--rule=+://item", "--rule=-://secret",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "<name>x</name>" in out
+        assert "secret" not in out
+
+    def test_view_with_query(self, xml_file, tmp_path, capsys):
+        store = self.protect(xml_file, tmp_path, capsys=capsys)
+        assert (
+            main(
+                [
+                    "view", str(store), "--key", KEY,
+                    "--rule", "+://shop",
+                    "--query", "//item[cost > 10]",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out.strip()
+        assert out == ""  # no item matches: empty view
+
+    def test_view_costs_report(self, xml_file, tmp_path, capsys):
+        store = self.protect(xml_file, tmp_path)
+        assert (
+            main(
+                ["view", str(store), "--key", KEY, "--rule", "+://item",
+                 "--costs"]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "simulated" in err
+
+    def test_view_brute_force_same_result(self, xml_file, tmp_path, capsys):
+        store = self.protect(xml_file, tmp_path, capsys=capsys)
+        main(["view", str(store), "--key", KEY, "--rule", "+://item"])
+        fast = capsys.readouterr().out
+        main(["view", str(store), "--key", KEY, "--rule", "+://item",
+              "--brute-force"])
+        slow = capsys.readouterr().out
+        assert fast == slow
+
+    def test_wrong_key_detected(self, xml_file, tmp_path):
+        from repro.crypto.integrity import IntegrityError
+
+        store = self.protect(xml_file, tmp_path)
+        bad_key = "ff" * 16
+        with pytest.raises((IntegrityError, Exception)):
+            main(["view", str(store), "--key", bad_key, "--rule", "+://item"])
+
+    def test_bad_rule_syntax(self, xml_file, tmp_path):
+        store = self.protect(xml_file, tmp_path)
+        with pytest.raises(SystemExit):
+            main(["view", str(store), "--key", KEY, "--rule", "oops"])
+
+    def test_bad_key_length(self, xml_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["protect", xml_file, str(tmp_path / "s"), "--key", "abcd"])
+
+    @pytest.mark.parametrize("scheme", ["ECB", "CBC-SHA", "CBC-SHAC", "ECB-MHT"])
+    def test_all_schemes_round_trip(self, xml_file, tmp_path, capsys, scheme):
+        store = self.protect(xml_file, tmp_path, scheme=scheme, capsys=capsys)
+        assert (
+            main(["view", str(store), "--key", KEY, "--rule", "+://shop"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "<cost>5</cost>" in out

@@ -1,0 +1,163 @@
+"""Unit tests for three-valued conditions and predicate instances."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accesscontrol.conditions import (
+    ALWAYS,
+    FALSE,
+    NEVER,
+    TRUE,
+    UNKNOWN,
+    AndCondition,
+    ConstCondition,
+    OrCondition,
+    PredicateInstance,
+    RuleInstance,
+    and_condition,
+    or_condition,
+)
+from repro.accesscontrol.model import AccessRule
+
+
+def instance(depth=1):
+    return PredicateInstance("R", 0, depth)
+
+
+class TestPredicateInstance:
+    def test_initially_unknown(self):
+        assert instance().state() == UNKNOWN
+
+    def test_satisfied_is_true(self):
+        inst = instance()
+        inst.mark_satisfied()
+        assert inst.state() == TRUE
+        assert inst.settled_true()
+
+    def test_closed_without_witness_is_false(self):
+        inst = instance()
+        inst.close_window()
+        assert inst.state() == FALSE
+
+    def test_satisfaction_survives_window_close(self):
+        inst = instance()
+        inst.mark_satisfied()
+        inst.close_window()
+        assert inst.state() == TRUE
+
+    def test_conditional_witness_unknown(self):
+        inst = instance()
+        sub = instance()
+        inst.add_witness(sub)
+        assert inst.state() == UNKNOWN
+        inst.close_window()
+        # Window closed but a witness is still undecided.
+        assert inst.state() == UNKNOWN
+        sub.mark_satisfied()
+        assert inst.state() == TRUE
+
+    def test_conditional_witness_false(self):
+        inst = instance()
+        sub = instance()
+        inst.add_witness(sub)
+        inst.close_window()
+        sub.close_window()
+        assert inst.state() == FALSE
+
+    def test_true_witness_satisfies_immediately(self):
+        inst = instance()
+        inst.add_witness(ALWAYS)
+        assert inst.settled_true()
+
+    def test_false_witness_ignored(self):
+        inst = instance()
+        inst.add_witness(NEVER)
+        inst.close_window()
+        assert inst.state() == FALSE
+
+    def test_any_of_many_witnesses(self):
+        inst = instance()
+        subs = [instance() for _ in range(3)]
+        for sub in subs:
+            inst.add_witness(sub)
+        subs[2].mark_satisfied()
+        assert inst.state() == TRUE
+
+
+class TestCombinators:
+    def test_and_truth_table(self):
+        unknown = instance()
+        assert AndCondition([ALWAYS, ALWAYS]).state() == TRUE
+        assert AndCondition([ALWAYS, NEVER]).state() == FALSE
+        assert AndCondition([ALWAYS, unknown]).state() == UNKNOWN
+        assert AndCondition([NEVER, unknown]).state() == FALSE
+        assert AndCondition([]).state() == TRUE
+
+    def test_or_truth_table(self):
+        unknown = instance()
+        assert OrCondition([NEVER, NEVER]).state() == FALSE
+        assert OrCondition([NEVER, ALWAYS]).state() == TRUE
+        assert OrCondition([NEVER, unknown]).state() == UNKNOWN
+        assert OrCondition([ALWAYS, unknown]).state() == TRUE
+        assert OrCondition([]).state() == FALSE
+
+    def test_and_condition_collapses_constants(self):
+        assert and_condition([ALWAYS, ALWAYS]) is ALWAYS
+        assert and_condition([ALWAYS, NEVER]) is NEVER
+        unknown = instance()
+        assert and_condition([ALWAYS, unknown]) is unknown
+
+    def test_or_condition_collapses_constants(self):
+        assert or_condition([NEVER]) is NEVER
+        assert or_condition([NEVER, ALWAYS]) is ALWAYS
+        unknown = instance()
+        assert or_condition([unknown, NEVER]) is unknown
+
+    def test_nested_composition(self):
+        a, b = instance(), instance()
+        cond = and_condition([or_condition([a, b]), ALWAYS])
+        assert cond.state() == UNKNOWN
+        a.mark_satisfied()
+        assert cond.state() == TRUE
+
+    @given(st.lists(st.sampled_from([TRUE, FALSE, UNKNOWN]), max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_property_kleene_semantics(self, states):
+        parts = [ConstCondition(s) for s in states]
+        and_state = AndCondition(parts).state()
+        or_state = OrCondition(parts).state()
+        if FALSE in states:
+            assert and_state == FALSE
+        elif UNKNOWN in states:
+            assert and_state == UNKNOWN
+        else:
+            assert and_state == TRUE
+        if TRUE in states:
+            assert or_state == TRUE
+        elif UNKNOWN in states:
+            assert or_state == UNKNOWN
+        else:
+            assert or_state == FALSE
+
+
+class TestRuleInstance:
+    def test_no_predicates_is_active(self):
+        rule = AccessRule("+", "//a")
+        assert RuleInstance(rule, (), 1).state() == TRUE
+
+    def test_all_predicates_must_hold(self):
+        rule = AccessRule("+", "//a[b][c]")
+        p1, p2 = instance(), instance()
+        inst = RuleInstance(rule, (p1, p2), 1)
+        assert inst.state() == UNKNOWN
+        p1.mark_satisfied()
+        assert inst.state() == UNKNOWN
+        p2.mark_satisfied()
+        assert inst.state() == TRUE
+
+    def test_one_failed_predicate_kills_instance(self):
+        rule = AccessRule("-", "//a[b]")
+        p1 = instance()
+        inst = RuleInstance(rule, (p1,), 1)
+        p1.close_window()
+        assert inst.state() == FALSE

@@ -1,0 +1,229 @@
+"""Differential testing: streaming evaluator vs DOM reference oracle.
+
+Random documents x random policies x random queries, in all navigator
+configurations (brute force, index+skip, skip without metadata).  Any
+divergence is a bug in either the evaluator or the oracle.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AccessRule, Policy, reference_authorized_view
+from repro.accesscontrol.evaluator import StreamingEvaluator
+from repro.accesscontrol.navigation import EventListNavigator, SimpleEventNavigator
+from repro.xmlkit.dom import Node
+from repro.xmlkit.serializer import serialize_events
+from repro.xpath.ast import Path
+from repro.xpath.parser import parse_xpath
+
+TAGS = ["a", "b", "c", "d", "e"]
+VALUES = ["1", "2", "3", "x"]
+
+
+def random_tree(rng: random.Random, max_nodes: int = 40) -> Node:
+    """A random small document over a fixed tag alphabet."""
+    budget = [rng.randint(1, max_nodes)]
+
+    def build(depth: int) -> Node:
+        node = Node(rng.choice(TAGS))
+        while budget[0] > 0 and rng.random() < (0.75 if depth < 4 else 0.25):
+            budget[0] -= 1
+            if rng.random() < 0.35:
+                node.children.append(rng.choice(VALUES))
+            else:
+                node.children.append(build(depth + 1))
+        return node
+
+    return build(1)
+
+
+def random_path(rng: random.Random, allow_predicates: bool = True) -> str:
+    """A random XP{[],*,//} expression over the tag alphabet."""
+    steps = []
+    for _ in range(rng.randint(1, 3)):
+        axis = "//" if rng.random() < 0.5 else "/"
+        test = "*" if rng.random() < 0.15 else rng.choice(TAGS)
+        predicate = ""
+        if allow_predicates and rng.random() < 0.4:
+            p_axis = "//" if rng.random() < 0.3 else ""
+            p_tag = rng.choice(TAGS)
+            if rng.random() < 0.5:
+                predicate = "[%s%s]" % (p_axis, p_tag)
+            else:
+                op = rng.choice(["=", "!=", ">", "<"])
+                value = rng.choice(VALUES)
+                predicate = "[%s%s %s %s]" % (p_axis, p_tag, op, value)
+        steps.append(axis + test + predicate)
+    return "".join(steps)
+
+
+def random_policy(rng: random.Random) -> Policy:
+    rules = []
+    for _ in range(rng.randint(1, 5)):
+        sign = "+" if rng.random() < 0.6 else "-"
+        rules.append(AccessRule(sign, random_path(rng)))
+    return Policy(rules)
+
+
+def check_agreement(tree: Node, policy: Policy, query=None) -> None:
+    reference = reference_authorized_view(tree, policy, query=query)
+    events = list(tree.iter_events())
+    for label, make_navigator in [
+        ("brute-force", lambda: SimpleEventNavigator(events)),
+        ("indexed", lambda: EventListNavigator(events, provide_meta=True)),
+        ("skip-no-meta", lambda: EventListNavigator(events, provide_meta=False)),
+    ]:
+        evaluator = StreamingEvaluator(policy, query=query)
+        streamed = evaluator.run(make_navigator())
+        assert streamed == reference, (
+            "divergence (%s):\n  policy=%s\n  query=%s\n  doc=%s\n"
+            "  streaming=%s\n  reference=%s"
+            % (
+                label,
+                list(policy.rules),
+                query,
+                serialize_events(events),
+                serialize_events(streamed),
+                serialize_events(reference),
+            )
+        )
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_random_policies_agree(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng)
+    policy = random_policy(rng)
+    check_agreement(tree, policy)
+
+
+@pytest.mark.parametrize("seed", range(120, 180))
+def test_random_policies_with_queries_agree(seed):
+    rng = random.Random(seed)
+    tree = random_tree(rng)
+    policy = random_policy(rng)
+    query = random_path(rng)
+    check_agreement(tree, policy, query=query)
+
+
+@pytest.mark.parametrize("seed", range(180, 220))
+def test_recursive_documents_agree(seed):
+    """Documents with heavy tag recursion (the hard case for //)."""
+    rng = random.Random(seed)
+
+    def deep(depth):
+        node = Node(rng.choice(["a", "b"]))
+        if depth < 6 and rng.random() < 0.8:
+            for _ in range(rng.randint(1, 2)):
+                node.children.append(deep(depth + 1))
+        else:
+            node.children.append(rng.choice(VALUES))
+        return node
+
+    tree = deep(0)
+    rules = [
+        AccessRule("+", "//a//b[a]"),
+        AccessRule("-", "//b//a/b"),
+        AccessRule("+", random_path(rng)),
+    ]
+    check_agreement(tree, Policy(rules))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property tests
+# ----------------------------------------------------------------------
+@st.composite
+def trees(draw, max_depth=4):
+    tag = draw(st.sampled_from(TAGS))
+    node = Node(tag)
+    if max_depth > 0:
+        n_children = draw(st.integers(min_value=0, max_value=3))
+        for _ in range(n_children):
+            if draw(st.booleans()):
+                node.children.append(draw(st.sampled_from(VALUES)))
+            else:
+                node.children.append(draw(trees(max_depth=max_depth - 1)))
+    else:
+        node.children.append(draw(st.sampled_from(VALUES)))
+    return node
+
+
+@st.composite
+def policies(draw):
+    n_rules = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    for _ in range(n_rules):
+        seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+        rng = random.Random(seed)
+        sign = draw(st.sampled_from(["+", "-"]))
+        rules.append(AccessRule(sign, random_path(rng)))
+    return Policy(rules)
+
+
+@settings(max_examples=150, deadline=None)
+@given(tree=trees(), policy=policies())
+def test_property_streaming_matches_reference(tree, policy):
+    check_agreement(tree, policy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=trees(), policy=policies(), seed=st.integers(0, 10 ** 6))
+def test_property_queries_match_reference(tree, policy, seed):
+    query = random_path(random.Random(seed))
+    check_agreement(tree, policy, query=query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=trees(), policy=policies())
+def test_property_view_is_subset_of_document(tree, policy):
+    """Every text chunk in the view exists in the document (no leakage
+    of invented content) and the view is well-formed."""
+    from repro.xmlkit.events import TEXT, validate_stream
+
+    evaluator = StreamingEvaluator(policy)
+    view = evaluator.run_events(list(tree.iter_events()), with_index=True)
+    if view:
+        validate_stream(view)
+    doc_texts = []
+
+    def collect(node):
+        for child in node.children:
+            if isinstance(child, str):
+                doc_texts.append(child)
+            else:
+                collect(child)
+
+    collect(tree)
+    for event in view:
+        if event[0] == TEXT:
+            assert event[1] in doc_texts
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees(), policy=policies())
+def test_property_idempotence(tree, policy):
+    """Applying the policy to its own authorized view keeps the granted
+    content granted (the view never shrinks below its own granted set)
+    when rules have no predicates reaching outside the view.
+
+    We restrict to predicate-free policies where idempotence holds
+    exactly.
+    """
+    from repro.xmlkit.events import events_to_tree
+
+    simple_rules = [
+        rule for rule in policy.rules if not rule.object.has_predicates()
+    ]
+    if not simple_rules:
+        return
+    simple = Policy(simple_rules)
+    evaluator = StreamingEvaluator(simple)
+    view = evaluator.run_events(list(tree.iter_events()), with_index=True)
+    if not view:
+        return
+    again = StreamingEvaluator(simple).run_events(view, with_index=True)
+    # All PERMIT nodes survive; structural-only nodes may differ in text
+    # content but the re-application must never add content.
+    assert len(again) <= len(view)

@@ -1,0 +1,334 @@
+"""Semantic tests of the streaming evaluator on hand-crafted cases.
+
+Every test also checks agreement with the DOM reference oracle, so these
+double as pinned specifications of the access-control model.
+"""
+
+import pytest
+
+from repro import (
+    AccessRule,
+    Policy,
+    authorized_view,
+    evaluate_events,
+    make_policy,
+    reference_authorized_view,
+)
+from repro.accesscontrol.evaluator import StreamingEvaluator
+from repro.metrics import Meter
+from repro.xmlkit import parse_document, serialize_events
+from repro.xmlkit.events import events_to_tree
+
+
+def view_text(xml, rules, subject="", query=None, with_index=True, dummy=None):
+    """Streaming authorized view as compact XML text ('' when empty)."""
+    doc = parse_document(xml)
+    policy = Policy([AccessRule(s, o) for s, o in rules], subject=subject,
+                    dummy_tag=dummy)
+    events = authorized_view(doc, policy, query=query, with_index=with_index)
+    reference = reference_authorized_view(doc, policy, query=query)
+    assert events == reference, (
+        "streaming/reference divergence:\n  streaming=%s\n  reference=%s"
+        % (serialize_events(events), serialize_events(reference))
+    )
+    return serialize_events(events)
+
+
+class TestClosedPolicy:
+    def test_no_rules_denies_everything(self):
+        assert view_text("<a><b>x</b></a>", []) == ""
+
+    def test_negative_only_denies(self):
+        assert view_text("<a><b>x</b></a>", [("-", "//b")]) == ""
+
+
+class TestBasicRules:
+    def test_positive_rule_grants_subtree(self):
+        assert view_text("<a><b>x<c>y</c></b><d>z</d></a>", [("+", "//b")]) == (
+            "<a><b>x<c>y</c></b></a>"
+        )
+
+    def test_structural_rule_keeps_path(self):
+        assert view_text("<a><b><c>x</c></b></a>", [("+", "//c")]) == (
+            "<a><b><c>x</c></b></a>"
+        )
+
+    def test_structural_rule_drops_path_text(self):
+        # 'b' is only on the path: its own text must not leak.
+        assert view_text("<a><b>secret<c>x</c></b></a>", [("+", "//c")]) == (
+            "<a><b><c>x</c></b></a>"
+        )
+
+    def test_dummy_tag_renaming(self):
+        assert view_text(
+            "<a><b><c>x</c></b></a>", [("+", "//c")], dummy="_"
+        ) == "<_><_><c>x</c></_></_>"
+
+    def test_child_vs_descendant(self):
+        xml = "<a><b><a><b>deep</b></a></b></a>"
+        assert view_text(xml, [("+", "/a/b")]) == xml
+        assert view_text(xml, [("+", "/b")]) == ""
+
+    def test_wildcard_step(self):
+        assert view_text("<a><b><c>x</c></b></a>", [("+", "/a/*/c")]) == (
+            "<a><b><c>x</c></b></a>"
+        )
+
+    def test_root_rule(self):
+        xml = "<a><b>x</b></a>"
+        assert view_text(xml, [("+", "/a")]) == xml
+
+
+class TestConflictResolution:
+    def test_denial_takes_precedence_same_object(self):
+        assert view_text("<a><b>x</b></a>", [("+", "//b"), ("-", "//b")]) == ""
+
+    def test_most_specific_wins_negative_inside_positive(self):
+        assert view_text(
+            "<a><b>x<c>y</c></b></a>", [("+", "//b"), ("-", "//c")]
+        ) == "<a><b>x</b></a>"
+
+    def test_most_specific_wins_positive_inside_negative(self):
+        assert view_text(
+            "<a><b>x<c>y</c></b></a>", [("-", "//b"), ("+", "//c")]
+        ) == "<a><b><c>y</c></b></a>"
+
+    def test_alternating_nesting(self):
+        xml = "<a><b><c><b><c>deep</c></b></c></b></a>"
+        # deny b, allow c: the innermost decision at each node wins.
+        assert view_text(xml, [("-", "//b"), ("+", "//c")]) == (
+            "<a><b><c><b><c>deep</c></b></c></b></a>"
+        )
+
+    def test_same_level_conflict_on_distinct_rules(self):
+        # Both rules select the same node: denial wins.
+        assert view_text(
+            "<a><b>x</b></a>", [("+", "/a/b"), ("-", "//b")]
+        ) == ""
+
+    def test_inherited_deny_vs_no_rule(self):
+        assert view_text(
+            "<a><b><c>x</c></b></a>", [("+", "/a"), ("-", "//b")]
+        ) == "<a/>"
+
+
+class TestPredicates:
+    def test_existence_predicate_true(self):
+        assert view_text(
+            "<a><b><c/>keep</b></a>", [("+", "//b[c]")]
+        ) == "<a><b><c/>keep</b></a>"
+
+    def test_existence_predicate_false(self):
+        assert view_text("<a><b>drop</b></a>", [("+", "//b[c]")]) == ""
+
+    def test_comparison_predicate(self):
+        xml = "<r><g><v>300</v>hi</g><g><v>100</v>lo</g></r>"
+        assert view_text(xml, [("+", "//g[v > 250]")]) == (
+            "<r><g><v>300</v>hi</g></r>"
+        )
+
+    def test_pending_predicate_after_subtree(self):
+        # The predicate witness (d=4) arrives *after* the granted c.
+        xml = "<a><c>keep</c><d>4</d></a>"
+        assert view_text(xml, [("+", "/a[d = 4]/c")]) == "<a><c>keep</c></a>"
+
+    def test_pending_predicate_resolves_false(self):
+        xml = "<a><c>drop</c><d>5</d></a>"
+        assert view_text(xml, [("+", "/a[d = 4]/c")]) == ""
+
+    def test_multiple_instances_of_predicate(self):
+        # First d does not match, a later one does: existential.
+        xml = "<a><c>keep</c><d>9</d><d>4</d></a>"
+        assert view_text(xml, [("+", "/a[d = 4]/c")]) == "<a><c>keep</c></a>"
+
+    def test_rule_instances_at_different_depths(self):
+        # //b[c]/d — the paper's running example (Fig. 3): two nested b's,
+        # only some instances have a c witness.
+        xml = "<a><b><d>d1</d><c/></b><b><d>d2</d><c/><b><d>d3</d><c/></b></b></a>"
+        assert view_text(xml, [("+", "//b[c]/d")]) == (
+            "<a><b><d>d1</d></b><b><d>d2</d><b><d>d3</d></b></b></a>"
+        )
+
+    def test_instance_separation_no_cross_witness(self):
+        # Inner b has no c child: its d must not borrow the outer witness.
+        xml = "<a><b><c/><b><d>x</d></b></b></a>"
+        assert view_text(xml, [("+", "//b[c]/d")]) == ""
+
+    def test_descendant_predicate_path(self):
+        xml = "<a><b><x><y>3</y></x>keep</b><b>drop</b></a>"
+        assert view_text(xml, [("+", "//b[//y = 3]")]) == (
+            "<a><b><x><y>3</y></x>keep</b></a>"
+        )
+
+    def test_predicate_on_user(self):
+        xml = "<f><act><who>alice</who><d>1</d></act><act><who>bob</who><d>2</d></act></f>"
+        assert view_text(
+            xml, [("+", "//act[who = USER]")], subject="alice"
+        ) == "<f><act><who>alice</who><d>1</d></act></f>"
+
+    def test_not_equal_user(self):
+        xml = "<f><act><who>alice</who><det>x</det></act></f>"
+        assert view_text(
+            xml, [("+", "//act"), ("-", "//act[who != USER]/det")], subject="alice"
+        ) == "<f><act><who>alice</who><det>x</det></act></f>"
+
+    def test_negative_pending_rule(self):
+        # The negative rule's predicate resolves after the subtree.
+        xml = "<a><b><c>x</c><flag>1</flag></b></a>"
+        assert view_text(
+            xml, [("+", "//b"), ("-", "//b[flag = 1]/c")]
+        ) == "<a><b><flag>1</flag></b></a>"
+
+    def test_negative_pending_rule_false(self):
+        xml = "<a><b><c>x</c><flag>0</flag></b></a>"
+        assert view_text(
+            xml, [("+", "//b"), ("-", "//b[flag = 1]/c")]
+        ) == "<a><b><c>x</c><flag>0</flag></b></a>"
+
+    def test_nested_predicates(self):
+        xml = "<r><a><b><c/></b>keep</a><a><b/>drop</a></r>"
+        assert view_text(xml, [("+", "//a[b[c]]")]) == (
+            "<r><a><b><c/></b>keep</a></r>"
+        )
+
+    def test_self_comparison(self):
+        xml = "<r><m>3</m><m>4</m></r>"
+        assert view_text(xml, [("+", "//m[. = 3]")]) == "<r><m>3</m></r>"
+
+    def test_multi_predicate_conjunction(self):
+        xml = "<r><p><x/><y/>keep</p><p><x/>drop</p></r>"
+        assert view_text(xml, [("+", "//p[x][y]")]) == (
+            "<r><p><x/><y/>keep</p></r>"
+        )
+
+    def test_predicate_two_steps_deep(self):
+        xml = "<r><f><p><t>G3</t></p><lab>v</lab></f><f><p><t>G2</t></p><lab>w</lab></f></r>"
+        assert view_text(xml, [("+", "//f[p/t = G3]/lab")]) == (
+            "<r><f><lab>v</lab></f></r>"
+        )
+
+
+class TestQueries:
+    def test_query_selects_subset_of_view(self):
+        xml = "<r><a><v>1</v></a><b><v>2</v></b></r>"
+        assert view_text(xml, [("+", "/r")], query="//a") == (
+            "<r><a><v>1</v></a></r>"
+        )
+
+    def test_query_on_denied_data_returns_nothing(self):
+        xml = "<r><a><v>1</v></a></r>"
+        assert view_text(xml, [("-", "//a"), ("+", "//b")], query="//a") == ""
+
+    def test_query_with_predicate(self):
+        xml = "<r><f><age>30</age>x</f><f><age>10</age>y</f></r>"
+        assert view_text(xml, [("+", "/r")], query="//f[age > 25]") == (
+            "<r><f><age>30</age>x</f></r>"
+        )
+
+    def test_query_predicate_needs_authorized_witness(self):
+        # age is denied: the query predicate cannot use it as a witness.
+        xml = "<r><f><age>30</age><v>x</v></f></r>"
+        assert view_text(
+            xml, [("+", "/r"), ("-", "//age")], query="//f[age > 25]"
+        ) == ""
+
+    def test_query_structural_path(self):
+        xml = "<r><mid><leaf>x</leaf></mid></r>"
+        assert view_text(xml, [("+", "/r")], query="//leaf") == (
+            "<r><mid><leaf>x</leaf></mid></r>"
+        )
+
+
+class TestStreamingMachinery:
+    def test_brute_force_equals_indexed(self):
+        xml = "<r><a><b>x</b></a><c><d>y</d></c></r>"
+        rules = [("+", "//b"), ("-", "//d")]
+        assert view_text(xml, rules, with_index=False) == view_text(
+            xml, rules, with_index=True
+        )
+
+    def test_skipping_statistics(self):
+        doc = parse_document(
+            "<r>" + "".join("<x><y>%d</y></x>" % i for i in range(20)) + "<z>t</z></r>"
+        )
+        meter = Meter()
+        policy = make_policy([("+", "//z")])
+        evaluator = StreamingEvaluator(policy, meter=meter)
+        events = evaluator.run_events(list(doc.iter_events()), with_index=True)
+        assert serialize_events(events) == "<r><z>t</z></r>"
+        assert meter.skipped_subtrees > 0
+        # With skipping, far fewer events than the full document.
+        assert meter.events < 20 * 4
+
+    def test_drain_ready_streams_prefix(self):
+        doc = parse_document("<r><a>1</a><b>2</b><c>3</c></r>")
+        policy = make_policy([("+", "/r")])
+        evaluator = StreamingEvaluator(policy)
+        navigator_events = list(doc.iter_events())
+        from repro.accesscontrol.navigation import SimpleEventNavigator
+
+        navigator = SimpleEventNavigator(navigator_events)
+        evaluator._reset(navigator)
+        drained = []
+        while True:
+            item = navigator.next()
+            if item is None:
+                break
+            kind, value, meta = item
+            if kind == 0:
+                evaluator._on_open(value, meta)
+            elif kind == 1:
+                evaluator._on_text(value)
+            else:
+                evaluator._on_close()
+            drained.extend(evaluator.result.drain_ready())
+        drained.extend(evaluator.result.finalize())
+        assert serialize_events(drained) == "<r><a>1</a><b>2</b><c>3</c></r>"
+
+    def test_deep_recursion_document(self):
+        depth = 200
+        xml = "<n>" * depth + "x" + "</n>" * depth
+        assert view_text(xml, [("+", "//n")]) == xml
+
+    def test_evaluator_reusable_across_runs(self):
+        doc = parse_document("<a><b>x</b></a>")
+        policy = make_policy([("+", "//b")])
+        evaluator = StreamingEvaluator(policy)
+        first = evaluator.run_events(list(doc.iter_events()))
+        second = evaluator.run_events(list(doc.iter_events()))
+        assert first == second
+
+
+class TestPaperExample:
+    """The abstract document and rules of the paper's Figure 7."""
+
+    XML = (
+        "<a>"
+        "<b><m/><o/><p/></b>"
+        "<c>"
+        "<e><m>3</m><t/><p/></e>"
+        "<f><m/><p/></f>"
+        "<g/>"
+        "<h><m/><k>2</k></h>"
+        "<i>3</i>"
+        "</c>"
+        "<d>4</d>"
+        "</a>"
+    )
+
+    RULES = [
+        ("+", "/a[d = 4]/c"),
+        ("-", "//c/e[m = 3]"),
+        ("+", "//c[//i = 3]//f"),
+        ("-", "//h[k = 2]"),
+    ]
+
+    def test_figure7_view(self):
+        # R grants c (pending until d=4 at the end); S denies e (m=3);
+        # T re-grants f below c (i=3 witness); U denies h (k=2).
+        result = view_text(self.XML, self.RULES)
+        assert "<e>" not in result
+        assert "<h>" not in result
+        assert "<f>" in result
+        assert "<g/>" in result  # granted via R on c
+        assert result.startswith("<a><c>")

@@ -1,0 +1,190 @@
+"""Unit tests for the ResultBuilder (pending buffering + reassembly)."""
+
+import pytest
+
+from repro.accesscontrol.conditions import ALWAYS, NEVER, PredicateInstance
+from repro.accesscontrol.pending import ResultBuilder
+from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
+from repro.xmlkit.serializer import serialize_events
+
+
+def pending_condition():
+    return PredicateInstance("R", 0, 1)
+
+
+class TestBasicAssembly:
+    def test_permit_node_with_text(self):
+        builder = ResultBuilder()
+        builder.open("a", ALWAYS)
+        builder.text("hello")
+        builder.close()
+        assert serialize_events(builder.finalize()) == "<a>hello</a>"
+
+    def test_denied_node_disappears(self):
+        builder = ResultBuilder()
+        builder.open("a", NEVER)
+        builder.text("secret")
+        builder.close()
+        assert builder.finalize() == []
+
+    def test_structural_rule(self):
+        builder = ResultBuilder()
+        builder.open("a", NEVER)
+        builder.text("secret")
+        builder.open("b", ALWAYS)
+        builder.text("public")
+        builder.close()
+        builder.close()
+        assert serialize_events(builder.finalize()) == "<a><b>public</b></a>"
+
+    def test_structural_dummy_tag(self):
+        builder = ResultBuilder(dummy_tag="anon")
+        builder.open("a", NEVER)
+        builder.open("b", ALWAYS)
+        builder.close()
+        builder.close()
+        assert serialize_events(builder.finalize()) == "<anon><b/></anon>"
+
+    def test_finalize_requires_closed_tree(self):
+        builder = ResultBuilder()
+        builder.open("a", ALWAYS)
+        with pytest.raises(ValueError):
+            builder.finalize()
+
+    def test_close_without_open(self):
+        builder = ResultBuilder()
+        with pytest.raises(IndexError):
+            builder.close()
+
+
+class TestPendingResolution:
+    def test_pending_true_delivers(self):
+        cond = pending_condition()
+        builder = ResultBuilder()
+        builder.open("a", cond)
+        builder.text("maybe")
+        builder.close()
+        cond.mark_satisfied()
+        assert serialize_events(builder.finalize()) == "<a>maybe</a>"
+
+    def test_pending_false_drops(self):
+        cond = pending_condition()
+        builder = ResultBuilder()
+        builder.open("a", cond)
+        builder.text("maybe")
+        builder.close()
+        cond.close_window()
+        assert builder.finalize() == []
+
+    def test_undecided_finalize_raises(self):
+        cond = pending_condition()
+        builder = ResultBuilder()
+        builder.open("a", cond)
+        builder.close()
+        with pytest.raises(ValueError):
+            builder.finalize()
+
+    def test_deferred_subtree_delivery(self):
+        cond = pending_condition()
+        events = [Event(OPEN, "x"), Event(TEXT, "v"), Event(CLOSE, "x")]
+        builder = ResultBuilder()
+        builder.open("a", ALWAYS)
+        builder.add_deferred(cond, lambda: events)
+        builder.close()
+        cond.mark_satisfied()
+        assert serialize_events(builder.finalize()) == "<a><x>v</x></a>"
+
+    def test_deferred_subtree_dropped(self):
+        cond = pending_condition()
+        builder = ResultBuilder()
+        builder.open("a", ALWAYS)
+        builder.add_deferred(cond, lambda: [Event(OPEN, "x"), Event(CLOSE, "x")])
+        builder.close()
+        cond.close_window()
+        assert serialize_events(builder.finalize()) == "<a/>"
+
+    def test_deferred_triggers_structural_delivery(self):
+        cond = pending_condition()
+        builder = ResultBuilder()
+        builder.open("a", NEVER)
+        builder.add_deferred(cond, lambda: [Event(OPEN, "x"), Event(CLOSE, "x")])
+        builder.close()
+        cond.mark_satisfied()
+        assert serialize_events(builder.finalize()) == "<a><x/></a>"
+
+    def test_deferred_position_preserved(self):
+        cond = pending_condition()
+        builder = ResultBuilder()
+        builder.open("a", ALWAYS)
+        builder.open("before", ALWAYS)
+        builder.close()
+        builder.add_deferred(cond, lambda: [Event(OPEN, "mid"), Event(CLOSE, "mid")])
+        builder.open("after", ALWAYS)
+        builder.close()
+        builder.close()
+        cond.mark_satisfied()
+        assert serialize_events(builder.finalize()) == (
+            "<a><before/><mid/><after/></a>"
+        )
+
+    def test_already_false_deferred_not_registered(self):
+        builder = ResultBuilder()
+        builder.open("a", ALWAYS)
+        assert builder.add_deferred(NEVER, lambda: []) is None
+        builder.close()
+        assert serialize_events(builder.finalize()) == "<a/>"
+
+
+class TestDrainReady:
+    def test_drain_streams_decided_prefix(self):
+        builder = ResultBuilder()
+        builder.open("root", ALWAYS)
+        drained = builder.drain_ready()
+        assert drained == [Event(OPEN, "root")]
+        builder.open("a", ALWAYS)
+        builder.text("1")
+        builder.close()
+        drained = builder.drain_ready()
+        assert serialize_events(drained) == "<a>1</a>"
+        builder.close()
+        tail = builder.finalize()
+        assert tail == [Event(CLOSE, "root")]
+
+    def test_drain_blocks_on_pending(self):
+        cond = pending_condition()
+        builder = ResultBuilder()
+        builder.open("root", ALWAYS)
+        builder.drain_ready()
+        builder.open("a", cond)
+        builder.close()
+        builder.open("b", ALWAYS)
+        builder.close()
+        # 'a' undecided: nothing (not even 'b') may stream yet.
+        assert builder.drain_ready() == []
+        cond.mark_satisfied()
+        drained = builder.drain_ready()
+        assert serialize_events(drained) == "<a/><b/>"
+        builder.close()
+        assert builder.finalize() == [Event(CLOSE, "root")]
+
+    def test_drain_then_finalize_no_duplicates(self):
+        builder = ResultBuilder()
+        builder.open("root", ALWAYS)
+        builder.open("a", ALWAYS)
+        builder.text("x")
+        builder.close()
+        first = builder.drain_ready()
+        builder.open("a", ALWAYS)
+        builder.text("y")
+        builder.close()
+        builder.close()
+        rest = builder.finalize()
+        combined = serialize_events(first + rest)
+        assert combined == "<root><a>x</a><a>y</a></root>"
+
+    def test_current_condition(self):
+        builder = ResultBuilder()
+        assert builder.current_condition() is ALWAYS
+        cond = pending_condition()
+        builder.open("a", cond)
+        assert builder.current_condition() is cond
