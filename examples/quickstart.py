@@ -10,8 +10,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import AccessRule, Policy, authorized_view
-from repro.soe import SecureSession, prepare_document
+from repro import AccessRule, DocumentPipeline, Policy, authorized_view, compile_policy
 from repro.xmlkit import parse_document, serialize_events
 
 DOCUMENT = """
@@ -44,39 +43,55 @@ def main() -> None:
         subject="visitor",
     )
 
+    # The rules compile once into a reusable plan (parse + NFA build);
+    # everything after this line only walks precompiled automata.
+    plan = compile_policy(policy)
+
     # 1. Pure streaming evaluation (no crypto) -------------------------
-    view = authorized_view(document, policy)
+    view = authorized_view(document, plan)
     print("Authorized view (streaming evaluator):")
     print("  " + serialize_events(view))
 
     # 2. The same through the secure pipeline of the paper -------------
-    prepared = prepare_document(document, scheme="ECB-MHT")
+    # publisher half: parse -> Skip-index encode -> encrypt/digest
+    prepared = DocumentPipeline.publisher(scheme="ECB-MHT").run(
+        tree=document
+    ).prepared
     print(
         "\nEncoded size: %d bytes, stored (encrypted+digests): %d bytes"
         % (prepared.encoded_size, prepared.stored_size)
     )
-    session = SecureSession(prepared, policy, context="smartcard")
-    result = session.run()
-    assert result.events == view, "secure pipeline must agree"
+    # SOE half: stream-decrypt -> evaluate (with the same plan)
+    ctx = DocumentPipeline.consumer(plan, context="smartcard").run(
+        prepared=prepared
+    )
+    assert ctx.view == view, "secure pipeline must agree"
     print("Secure SOE session produced the identical view.")
     print(
         "Simulated smart-card time: %.4f s "
         "(communication %.4f, decryption %.4f, access control %.4f, "
         "integrity %.4f)"
         % (
-            result.seconds,
-            result.breakdown.communication,
-            result.breakdown.decryption,
-            result.breakdown.access_control,
-            result.breakdown.integrity,
+            ctx.breakdown.total,
+            ctx.breakdown.communication,
+            ctx.breakdown.decryption,
+            ctx.breakdown.access_control,
+            ctx.breakdown.integrity,
         )
     )
     print(
         "Bytes transferred into the SOE: %d of %d stored (%.0f%% skipped)"
         % (
-            result.meter.bytes_transferred,
+            ctx.meter.bytes_transferred,
             prepared.stored_size,
-            100.0 * result.meter.skipped_bytes / max(1, prepared.encoded_size),
+            100.0 * ctx.meter.skipped_bytes / max(1, prepared.encoded_size),
+        )
+    )
+    print(
+        "Pipeline stages: "
+        + ", ".join(
+            "%s %.1f ms" % (name, 1000.0 * seconds)
+            for name, seconds in ctx.stage_seconds.items()
         )
     )
 

@@ -8,20 +8,38 @@ predicate management and Merkle-tree random integrity checking.
 
 Quickstart::
 
-    from repro import AccessRule, Policy, authorized_view
+    from repro import AccessRule, Policy, authorized_view, compile_policy
     from repro.xmlkit import parse_document
 
     doc = parse_document("<folder><admin>id</admin><acts>x</acts></folder>")
     policy = Policy([AccessRule("+", "//admin")], subject="secretary")
     view = authorized_view(doc, policy)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+    # Serving many documents/requests: compile once, reuse everywhere.
+    plan = compile_policy(policy)
+    view = authorized_view(doc, plan)
+
+The :mod:`repro.engine` layer holds the production-facing machinery:
+compiled :class:`~repro.engine.plans.PolicyPlan` objects, the
+:class:`~repro.engine.pipeline.DocumentPipeline` stages and the
+multi-client :class:`~repro.engine.station.SecureStation` server.
+
+See DESIGN.md for the system inventory (with the layer diagram) and
+EXPERIMENTS.md for the paper-versus-measured record of every table and
+figure.
 """
 
 from typing import List, Optional, Union
 
 from repro.accesscontrol.evaluator import StreamingEvaluator, evaluate_events
+from repro.engine import (
+    DocumentPipeline,
+    PolicyPlan,
+    QueryPlan,
+    SecureStation,
+    compile_policy,
+    compile_query,
+)
 from repro.accesscontrol.model import (
     DENY,
     PENDING,
@@ -53,13 +71,20 @@ __all__ = [
     "reference_authorized_view",
     "authorized_view",
     "Meter",
+    # engine layer
+    "PolicyPlan",
+    "QueryPlan",
+    "compile_policy",
+    "compile_query",
+    "DocumentPipeline",
+    "SecureStation",
     "__version__",
 ]
 
 
 def authorized_view(
     document: Union[Node, List[Event]],
-    policy: Policy,
+    policy: Union[Policy, PolicyPlan],
     query: Optional[str] = None,
     with_index: bool = True,
 ) -> List[Event]:
@@ -67,7 +92,9 @@ def authorized_view(
 
     ``document`` is a DOM tree or an event list; the result is an event
     stream (use :func:`repro.xmlkit.events.events_to_tree` or
-    :func:`repro.xmlkit.serialize_events` to materialize it).
+    :func:`repro.xmlkit.serialize_events` to materialize it).  ``policy``
+    may be a precompiled :class:`~repro.engine.plans.PolicyPlan` (from
+    :func:`compile_policy`) to amortize compilation across documents.
     """
     events = list(document.iter_events()) if isinstance(document, Node) else document
     return evaluate_events(events, policy, query=query, with_index=with_index)

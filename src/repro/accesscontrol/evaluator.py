@@ -63,8 +63,7 @@ from repro.accesscontrol.tokens import (
 from repro.metrics import Meter
 from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
 from repro.xpath.ast import Path
-from repro.xpath.nfa import Automaton, compile_path
-from repro.xpath.parser import parse_xpath
+from repro.xpath.nfa import Automaton
 
 
 class _QueryStack:
@@ -114,11 +113,16 @@ class StreamingEvaluator:
     Parameters
     ----------
     policy:
-        The subject's :class:`~repro.accesscontrol.model.Policy`.
+        The subject's :class:`~repro.accesscontrol.model.Policy`, or a
+        precompiled :class:`~repro.engine.plans.PolicyPlan` — the plan
+        path skips all XPath parsing and automaton compilation, which
+        is how the engine layer amortizes provisioning cost across
+        documents and requests.
     query:
-        Optional ``XP{[],*,//}`` expression (string or parsed
-        :class:`~repro.xpath.ast.Path`); the result is then the query
-        evaluated over the authorized view.
+        Optional ``XP{[],*,//}`` expression (string, parsed
+        :class:`~repro.xpath.ast.Path`, or precompiled
+        :class:`~repro.engine.plans.QueryPlan`); the result is then the
+        query evaluated over the authorized view.
     meter:
         Optional :class:`~repro.metrics.Meter` accumulating work counts.
     enable_skipping:
@@ -132,28 +136,29 @@ class StreamingEvaluator:
 
     def __init__(
         self,
-        policy: Policy,
-        query: Union[str, Path, None] = None,
+        policy: Union[Policy, "PolicyPlan"],
+        query: Union[str, Path, "QueryPlan", None] = None,
         meter: Optional[Meter] = None,
         enable_skipping: bool = True,
         enable_subtree_copy: bool = True,
     ):
-        self.policy = policy
+        # Imported lazily: the engine layer sits above this module.
+        from repro.engine.plans import PolicyPlan, compile_policy
+
+        plan = policy if isinstance(policy, PolicyPlan) else compile_policy(policy)
+        self.plan = plan
+        self.policy = policy = plan.policy
         self.meter = meter if meter is not None else Meter()
         self.enable_skipping = enable_skipping
         self.enable_subtree_copy = enable_subtree_copy
-        self.automata: List[Automaton] = []
-        self.rules: List[AccessRule] = []
-        for rule in policy.rules:
-            self.automata.append(compile_path(rule.object))
-            self.rules.append(rule)
+        self.automata: List[Automaton] = list(plan.automata)
+        self.rules: List[AccessRule] = list(plan.rules)
         self.query_index: Optional[int] = None
         if query is not None:
-            query_path = parse_xpath(query) if isinstance(query, str) else query
-            query_path = query_path.bind_user(policy.subject)
+            query_plan = plan.query_plan(query)
             self.query_index = len(self.automata)
-            self.automata.append(compile_path(query_path))
-            self.rules.append(AccessRule("+", query_path, "QUERY"))
+            self.automata.append(query_plan.automaton)
+            self.rules.append(AccessRule("+", query_plan.path, "QUERY"))
         # Run state (reset per run) ------------------------------------
         self.tokens = TokenStack()
         self.auth = AuthorizationStack()
@@ -507,12 +512,15 @@ class StreamingEvaluator:
 
 def evaluate_events(
     events: Sequence[Event],
-    policy: Policy,
+    policy: Union[Policy, "PolicyPlan"],
     query: Union[str, Path, None] = None,
     with_index: bool = True,
     meter: Optional[Meter] = None,
 ) -> List[Event]:
     """One-shot helper: authorized view of an in-memory event stream.
+
+    ``policy`` may be a :class:`~repro.engine.plans.PolicyPlan` to reuse
+    a compilation across calls.
 
     >>> from repro.xmlkit import parse_document
     >>> from repro.accesscontrol.model import make_policy

@@ -2,12 +2,20 @@
 
 Usage::
 
-    python -m repro.bench            # all experiments
-    python -m repro.bench fig9 fig11 # a subset
+    python -m repro.bench                       # all experiments
+    python -m repro.bench fig9 fig11            # a subset
+    python -m repro.bench --format csv fig9     # machine-readable
+    python -m repro.bench --format json         # one JSON object
+
+The default ``table`` format is the aligned-markdown form; ``csv``
+emits one header+rows block per experiment and ``json`` a single JSON
+object keyed by experiment name.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
 
@@ -21,6 +29,7 @@ from repro.bench.experiments import (
     table1_costs,
     table2_documents,
 )
+from repro.bench.reporting import FORMATS
 
 EXPERIMENTS = {
     "table1": ("Table 1 - communication and decryption costs", table1_costs),
@@ -34,19 +43,35 @@ EXPERIMENTS = {
 
 
 def main(argv) -> int:
-    selected = argv or list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description="run the paper's experiments"
+    )
+    parser.add_argument("experiments", nargs="*", metavar="experiment")
+    parser.add_argument("--format", choices=FORMATS, default="table")
+    args = parser.parse_args(argv)
+    fmt = args.format
+    selected = args.experiments or list(EXPERIMENTS)
     for key in selected:
         if key not in EXPERIMENTS:
             print("unknown experiment %r (choose from %s)" % (key, list(EXPERIMENTS)))
             return 2
+    collected = {}
     for key in selected:
         title, fn = EXPERIMENTS[key]
         start = time.time()
         data = fn()
         elapsed = time.time() - start
-        print()
-        print(render(data, title=title))
-        print("(computed in %.1fs)" % elapsed)
+        if fmt == "json":
+            collected[key] = json.loads(render(data, title=title, fmt="json"))
+            collected[key]["seconds"] = round(elapsed, 3)
+        else:
+            if fmt == "table":
+                print()
+            print(render(data, title=title, fmt=fmt))
+            if fmt == "table":
+                print("(computed in %.1fs)" % elapsed)
+    if fmt == "json":
+        print(json.dumps(collected, indent=2))
     return 0
 
 

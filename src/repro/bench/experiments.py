@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.reporting import format_table, human_bytes
+from repro.bench.reporting import format_output, human_bytes
 from repro.bench.workloads import Workloads
+from repro.engine.plans import compile_policy
 from repro.metrics import Meter
 from repro.skipindex.variants import encoding_report
 from repro.soe.costmodel import CONTEXTS, CostModel
@@ -151,7 +152,7 @@ def fig9_access_control(
     rows = []
     details: Dict[str, Dict[str, object]] = {}
     for profile in ["secretary", "doctor", "researcher"]:
-        policy = workloads.profile(profile)
+        policy = workloads.plan(profile)
         tcsbr = SecureSession(prepared, policy, context=context).run()
         brute = SecureSession(
             prepared, policy, context=context, use_skip_index=False
@@ -213,7 +214,7 @@ def fig10_queries(
     series: Dict[str, List[Tuple[float, float]]] = {}
     rows = []
     for label, profile in FIG10_VIEWS:
-        policy = workloads.profile(profile)
+        policy = workloads.plan(profile)
         points: List[Tuple[float, float]] = []
         for threshold in FIG10_THRESHOLDS:
             query = "//Folder[//Age > %d]" % threshold
@@ -272,7 +273,7 @@ def fig11_integrity(
     rows = []
     measured: Dict[str, Dict[str, float]] = {}
     for profile in ["secretary", "doctor", "researcher"]:
-        policy = workloads.profile(profile)
+        policy = workloads.plan(profile)
         times: Dict[str, float] = {}
         for scheme in SCHEME_ORDER:
             prepared = workloads.prepared("hospital", scheme)
@@ -321,10 +322,12 @@ def fig12_real_datasets(
     measured: Dict[str, Dict[str, float]] = {}
     for document, profile in FIG12_TARGETS:
         if profile is None:
-            policy = workloads.random_policy(document, rules=8, seed=17)
+            policy = compile_policy(
+                workloads.random_policy(document, rules=8, seed=17)
+            )
             label = document
         else:
-            policy = workloads.profile(profile)
+            policy = workloads.plan(profile)
             label = "%s/%s" % (document, profile[:4])
 
         # The paper's Fig. 12 throughput is authorized output produced
@@ -366,5 +369,7 @@ def fig12_real_datasets(
     }
 
 
-def render(experiment: Dict[str, object], title: str) -> str:
-    return format_table(experiment["headers"], experiment["rows"], title=title)
+def render(experiment: Dict[str, object], title: str, fmt: str = "table") -> str:
+    return format_output(
+        experiment["rows"], experiment["headers"], fmt=fmt, title=title
+    )

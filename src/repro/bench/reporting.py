@@ -1,8 +1,18 @@
-"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+"""Rendering for benchmark output and EXPERIMENTS.md.
+
+:func:`format_table` is the aligned-markdown form used in terminals and
+documents; :func:`format_output` renders the same rows as a table, CSV
+or JSON for machine consumers (``python -m repro bench --format csv``).
+"""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Iterable, List, Sequence
+
+FORMATS = ("table", "csv", "json")
 
 
 def format_table(
@@ -36,6 +46,43 @@ def format_table(
     for row in materialized:
         parts.append(line(row))
     return "\n".join(parts)
+
+
+def format_output(
+    rows: Iterable[Sequence[object]],
+    columns: Sequence[str],
+    fmt: str = "table",
+    title: str = "",
+) -> str:
+    """Render ``rows`` in the requested format (table, csv, or json).
+
+    ``rows`` are sequences ordered like ``columns``.  The table form is
+    :func:`format_table`; CSV carries a header row; JSON is an object
+    with the title and a list of ``{column: value}`` records (floats
+    and ints pass through unformatted so downstream tooling keeps full
+    precision).
+    """
+    materialized = [list(row) for row in rows]
+    if fmt == "table":
+        return format_table(columns, materialized, title=title)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(list(columns))
+        for row in materialized:
+            writer.writerow(row)
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "json":
+        records = [
+            {column: value for column, value in zip(columns, row)}
+            for row in materialized
+        ]
+        return json.dumps(
+            {"title": title, "rows": records}, indent=2, default=str
+        )
+    raise ValueError(
+        "unknown format %r (expected one of %s)" % (fmt, list(FORMATS))
+    )
 
 
 def _cell(value: object) -> str:

@@ -26,6 +26,7 @@ from repro.datasets import (
     secretary_policy,
 )
 from repro.datasets.hospital import GROUPS
+from repro.engine.plans import PolicyPlan, compile_policy
 from repro.skipindex.encoder import EncodedDocument, encode_document
 from repro.soe.session import PreparedDocument, prepare_document
 from repro.xmlkit.dom import Node
@@ -48,6 +49,7 @@ class Workloads:
         self._documents: Dict[str, Node] = {}
         self._encoded: Dict[str, EncodedDocument] = {}
         self._prepared: Dict[Tuple[str, str], PreparedDocument] = {}
+        self._plans: Dict[str, PolicyPlan] = {}
 
     @classmethod
     def shared(cls) -> "Workloads":
@@ -103,6 +105,14 @@ class Workloads:
         if name == "senior-researcher":
             return researcher_policy(GROUPS[:5])
         raise KeyError("unknown profile %r" % name)
+
+    def plan(self, name: str) -> PolicyPlan:
+        """Compiled (memoized) plan of a Section 7 profile — the form
+        the benchmark sessions consume, so no experiment ever pays
+        rule compilation inside its measured region twice."""
+        if name not in self._plans:
+            self._plans[name] = compile_policy(self.profile(name))
+        return self._plans[name]
 
     def random_policy(self, document: str, rules: int = 8, seed: int = 1) -> Policy:
         return random_policy_for(self.document(document), rules=rules, seed=seed)

@@ -24,7 +24,7 @@ from typing import List, Optional
 from repro.accesscontrol.model import AccessRule, Policy
 from repro.crypto.chunks import ChunkLayout
 from repro.crypto.integrity import SCHEMES, SecureDocument, make_scheme
-from repro.skipindex.encoder import encode_document
+from repro.engine import DocumentPipeline, compile_policy
 from repro.skipindex.variants import encoding_report
 from repro.soe.costmodel import CONTEXTS
 from repro.soe.session import PreparedDocument, SecureSession
@@ -82,15 +82,19 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_encode(args) -> int:
-    tree = _load_xml(args.document)
-    encoded = encode_document(tree)
+    from repro.engine import EncodeStage, ParseStage
+
+    with open(args.document, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    ctx = DocumentPipeline([ParseStage(), EncodeStage()]).run(source=source)
+    encoded = ctx.encoded
     with open(args.output, "wb") as handle:
         handle.write(encoded.data)
     print(
         "encoded %d elements into %d bytes (%d dictionary entries, "
         "%d fixpoint rounds)"
         % (
-            tree.count_elements(),
+            ctx.tree.count_elements(),
             len(encoded.data),
             len(encoded.dictionary),
             encoded.stats.fixpoint_rounds,
@@ -115,18 +119,19 @@ def cmd_decode(args) -> int:
 
 
 def cmd_protect(args) -> int:
-    tree = _load_xml(args.document)
     key = _parse_key(args.key)
-    encoded = encode_document(tree)
-    scheme = make_scheme(args.scheme, key=key)
-    secure = scheme.protect(encoded.data)
+    with open(args.document, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    pipeline = DocumentPipeline.publisher(scheme=args.scheme, key=key)
+    prepared = pipeline.run(source=source).prepared
+    secure = prepared.secure
     header = json.dumps(
         {
             "magic": STORE_MAGIC,
             "scheme": args.scheme,
             "plaintext_size": secure.plaintext_size,
-            "chunk_size": scheme.layout.chunk_size,
-            "fragment_size": scheme.layout.fragment_size,
+            "chunk_size": prepared.scheme.layout.chunk_size,
+            "fragment_size": prepared.scheme.layout.fragment_size,
         }
     )
     with open(args.output, "wb") as handle:
@@ -167,9 +172,10 @@ def cmd_view(args) -> int:
     prepared = _load_store(args.store, key)
     rules = _parse_rules(args.rule or [])
     policy = Policy(rules, subject=args.subject or "", dummy_tag=args.dummy_tag)
+    plan = compile_policy(policy)
     session = SecureSession(
         prepared,
-        policy,
+        plan,
         query=args.query,
         context=args.context,
         use_skip_index=not args.brute_force,
@@ -201,7 +207,10 @@ def cmd_view(args) -> int:
 def cmd_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
-    return bench_main(args.experiments)
+    argv = list(args.experiments)
+    if args.format != "table":
+        argv += ["--format", args.format]
+    return bench_main(argv)
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="run the paper's experiments")
     p_bench.add_argument("experiments", nargs="*")
+    p_bench.add_argument(
+        "--format",
+        choices=["table", "csv", "json"],
+        default="table",
+        help="output format for the result tables",
+    )
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -1,0 +1,400 @@
+"""SecureStation: one SOE serving many clients (the server setting).
+
+The paper's SOE is provisioned once and then serves a stream of
+requests; nothing in it is per-request except the token state.  The
+seed's :class:`~repro.soe.session.SecureSession` modelled exactly one
+``(document, subject)`` run.  A :class:`SecureStation` is the
+multi-client generalization the ROADMAP's production framing needs:
+
+* a **plan cache** — an LRU keyed by ``(subject, policy digest)``
+  holding compiled :class:`~repro.engine.plans.PolicyPlan` objects, so
+  a returning subject (or any subject sharing a role policy) never
+  recompiles automata;
+* **per-session key material** — each :meth:`connect` derives a session
+  key from the station's master secret, used to seal authorized views
+  on the SOE -> client link (the document keys never leave the station);
+* **batched evaluation** — :meth:`evaluate_many` serves N subjects over
+  one encrypted document in a *single pass over the chunks*: the store
+  is transferred, decrypted and integrity-checked once into a decoded
+  event stream, then every subject's plan is evaluated over it
+  in-memory.  For one subject the per-request Skip-index path is
+  cheaper; for N subjects with overlapping needs the batch amortizes
+  the dominant communication + decryption costs N-fold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.accesscontrol.evaluator import StreamingEvaluator
+from repro.accesscontrol.model import Policy
+from repro.accesscontrol.navigation import EventListNavigator
+from repro.crypto.integrity import SecureBytes
+from repro.crypto.modes import decrypt_positioned, encrypt_positioned, pad_to_block
+from repro.crypto.xtea import Xtea
+from repro.engine.pipeline import DocumentPipeline
+from repro.engine.plans import PolicyPlan, compile_policy, policy_digest
+from repro.metrics import Meter
+from repro.skipindex.decoder import SkipIndexNavigator
+from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext
+from repro.soe.session import PreparedDocument, SessionResult, delivered_bytes
+from repro.xmlkit.dom import Node
+from repro.xmlkit.events import Event
+from repro.xmlkit.serializer import serialize_events
+
+
+class StationError(KeyError):
+    """Unknown document, subject or grant."""
+
+
+class StationStats:
+    """Operational counters of one station (cache behaviour, volume)."""
+
+    __slots__ = (
+        "plan_hits",
+        "plan_misses",
+        "plan_evictions",
+        "sessions_opened",
+        "requests",
+        "batches",
+        "batch_subjects",
+    )
+
+    def __init__(self):
+        for field in self.__slots__:
+            setattr(self, field, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "StationStats(%s)" % self.as_dict()
+
+
+class StationSession:
+    """One connected client: a subject plus derived key material.
+
+    The session key is an HKDF-style derivation from the station's
+    master secret, the subject and a per-connection counter; it seals
+    authorized views on the way out so the untrusted terminal between
+    SOE and client learns nothing (document keys stay inside).
+    """
+
+    __slots__ = ("station", "subject", "session_id", "session_key")
+
+    def __init__(self, station: "SecureStation", subject: str, session_id: int):
+        self.station = station
+        self.subject = subject
+        self.session_id = session_id
+        self.session_key = station._derive_session_key(subject, session_id)
+
+    # ------------------------------------------------------------------
+    def view(self, document_id: str, query=None) -> SessionResult:
+        """Authorized view of ``document_id`` under this subject's grant."""
+        return self.station.evaluate(document_id, self.subject, query=query)
+
+    def sealed_view(self, document_id: str, query=None) -> bytes:
+        """Like :meth:`view`, but serialized and sealed for the link."""
+        result = self.view(document_id, query=query)
+        return self.seal(serialize_events(result.events).encode("utf-8"))
+
+    def seal(self, payload: bytes) -> bytes:
+        mac = hmac.new(self.session_key, payload, hashlib.sha1).digest()
+        body = len(payload).to_bytes(4, "big") + payload + mac
+        cipher = Xtea(self.session_key)
+        return encrypt_positioned(cipher, pad_to_block(body), 0)
+
+    def open(self, blob: bytes) -> bytes:
+        """Client-side inverse of :meth:`seal` (tests / simulation)."""
+        cipher = Xtea(self.session_key)
+        body = decrypt_positioned(cipher, blob, 0)
+        length = int.from_bytes(body[:4], "big")
+        payload = body[4 : 4 + length]
+        mac = body[4 + length : 4 + length + 20]
+        expected = hmac.new(self.session_key, payload, hashlib.sha1).digest()
+        if not hmac.compare_digest(mac, expected):
+            raise ValueError("sealed view failed authentication")
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "StationSession(%s, #%d)" % (self.subject, self.session_id)
+
+
+class BatchResult:
+    """Outcome of :meth:`SecureStation.evaluate_many`.
+
+    ``per_subject`` maps subject -> :class:`SessionResult` whose meters
+    count only that subject's evaluation and delivery; ``shared_meter``
+    carries the one-time transfer/decrypt/integrity cost of the single
+    pass over the chunks.
+    """
+
+    def __init__(
+        self,
+        per_subject: "OrderedDict[str, SessionResult]",
+        shared_meter: Meter,
+        context: PlatformContext,
+    ):
+        self.per_subject = per_subject
+        self.shared_meter = shared_meter
+        self.context = context
+
+    def __getitem__(self, subject: str) -> SessionResult:
+        return self.per_subject[subject]
+
+    def __iter__(self):
+        return iter(self.per_subject.items())
+
+    def __len__(self) -> int:
+        return len(self.per_subject)
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall time of the whole batch on the platform."""
+        merged = Meter()
+        merged.merge(self.shared_meter)
+        for result in self.per_subject.values():
+            merged.merge(result.meter)
+        return CostModel(self.context).breakdown(merged).total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BatchResult(%d subjects, %.3fs)" % (len(self), self.seconds)
+
+
+class SecureStation:
+    """Multi-client SOE facade: documents, grants, plan cache, batches.
+
+    Parameters
+    ----------
+    master_secret:
+        Station-resident secret; derives per-document keys (when none
+        is supplied at :meth:`publish`) and per-session link keys.
+    context:
+        Platform context used for simulated-cost accounting.
+    plan_cache_size:
+        Capacity of the compiled-plan LRU (entries, not bytes).
+    use_skip_index:
+        The TCSBR/Brute-Force switch, station-wide.
+    """
+
+    def __init__(
+        self,
+        master_secret: bytes = b"station-master-secret",
+        context: Union[str, PlatformContext] = "smartcard",
+        plan_cache_size: int = 32,
+        use_skip_index: bool = True,
+    ):
+        if plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        self._secret = master_secret
+        self.platform = CONTEXTS[context] if isinstance(context, str) else context
+        self.use_skip_index = use_skip_index
+        self.plan_cache_size = plan_cache_size
+        self.stats = StationStats()
+        self._documents: Dict[str, Tuple[PreparedDocument, bytes]] = {}
+        self._grants: Dict[Tuple[str, str], Policy] = {}
+        self._plans: "OrderedDict[Tuple[str, str], PolicyPlan]" = OrderedDict()
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------
+    # Key derivation
+    # ------------------------------------------------------------------
+    def _derive_key(self, label: str) -> bytes:
+        return hashlib.sha1(self._secret + b"|" + label.encode("utf-8")).digest()[:16]
+
+    def _derive_session_key(self, subject: str, session_id: int) -> bytes:
+        return self._derive_key("session|%s|%d" % (subject, session_id))
+
+    # ------------------------------------------------------------------
+    # Publishing and grants
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        document_id: str,
+        document: Union[str, Node, PreparedDocument],
+        scheme: str = "ECB-MHT",
+        key: Optional[bytes] = None,
+    ) -> PreparedDocument:
+        """Register a document: parse/encode/encrypt it (publisher
+        pipeline) unless an already-:class:`PreparedDocument` is given."""
+        if key is None:
+            key = self._derive_key("document|%s" % document_id)
+        if isinstance(document, PreparedDocument):
+            prepared = document
+        else:
+            pipeline = DocumentPipeline.publisher(
+                scheme=scheme, key=key, context=self.platform
+            )
+            if isinstance(document, Node):
+                ctx = pipeline.run(tree=document)
+            else:
+                ctx = pipeline.run(source=document)
+            prepared = ctx.prepared
+        self._documents[document_id] = (prepared, key)
+        return prepared
+
+    def document(self, document_id: str) -> PreparedDocument:
+        try:
+            return self._documents[document_id][0]
+        except KeyError:
+            raise StationError("unknown document %r" % document_id)
+
+    def grant(self, document_id: str, policy: Policy, subject: Optional[str] = None) -> None:
+        """Attach ``policy`` to ``(document, subject)``; the subject
+        defaults to the policy's own."""
+        if document_id not in self._documents:
+            raise StationError("unknown document %r" % document_id)
+        subject = policy.subject if subject is None else subject
+        self._grants[(document_id, subject)] = policy
+
+    def revoke(self, document_id: str, subject: str) -> None:
+        self._grants.pop((document_id, subject), None)
+
+    def _policy_for(self, document_id: str, subject: str) -> Policy:
+        try:
+            return self._grants[(document_id, subject)]
+        except KeyError:
+            raise StationError(
+                "no grant for subject %r on document %r" % (subject, document_id)
+            )
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def plan_for(self, policy: Union[Policy, PolicyPlan]) -> PolicyPlan:
+        """Compiled plan for ``policy``, via the (subject, digest) LRU."""
+        if isinstance(policy, PolicyPlan):
+            return policy
+        key = (policy.subject, policy_digest(policy))
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.stats.plan_hits += 1
+            return plan
+        self.stats.plan_misses += 1
+        plan = compile_policy(policy)
+        self._plans[key] = plan
+        while len(self._plans) > self.plan_cache_size:
+            self._plans.popitem(last=False)
+            self.stats.plan_evictions += 1
+        return plan
+
+    def cached_plans(self) -> int:
+        return len(self._plans)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def connect(self, subject: str) -> StationSession:
+        self._session_counter += 1
+        self.stats.sessions_opened += 1
+        return StationSession(self, subject, self._session_counter)
+
+    def evaluate(
+        self,
+        document_id: str,
+        subject_or_policy: Union[str, Policy, PolicyPlan],
+        query=None,
+    ) -> SessionResult:
+        """One request: the authorized view of one document for one
+        subject (grant lookup) or explicit policy/plan."""
+        prepared = self.document(document_id)
+        if isinstance(subject_or_policy, str):
+            policy = self._policy_for(document_id, subject_or_policy)
+        else:
+            policy = subject_or_policy
+        plan = self.plan_for(policy)
+        self.stats.requests += 1
+        pipeline = DocumentPipeline.consumer(
+            plan,
+            query=plan.query_plan(query),
+            use_skip_index=self.use_skip_index,
+            context=self.platform,
+        )
+        ctx = pipeline.run(prepared=prepared)
+        return SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.platform)
+
+    def evaluate_many(
+        self,
+        document_id: str,
+        subjects: Sequence[Union[str, Policy, PolicyPlan]],
+        query=None,
+    ) -> BatchResult:
+        """Serve every subject in one pass over the encrypted chunks.
+
+        The store is transferred, decrypted and integrity-verified
+        exactly once (the ``shared_meter`` of the result); each
+        subject's compiled plan then runs over the decoded event stream
+        in SOE memory with exact Skip-index metadata.
+        """
+        prepared = self.document(document_id)
+        plans: List[Tuple[str, PolicyPlan]] = []
+        for entry in subjects:
+            if isinstance(entry, str):
+                policy = self._policy_for(document_id, entry)
+                label = entry
+            else:
+                policy = entry
+                label = getattr(policy, "subject", "") or "subject%d" % len(plans)
+            if any(label == existing for existing, _plan in plans):
+                raise ValueError(
+                    "duplicate subject %r in evaluate_many batch" % label
+                )
+            plans.append((label, self.plan_for(policy)))
+
+        shared_meter = Meter()
+        events = self._decode_once(prepared, shared_meter)
+
+        per_subject: "OrderedDict[str, SessionResult]" = OrderedDict()
+        cost_model = CostModel(self.platform)
+        for label, plan in plans:
+            meter = Meter()
+            navigator = EventListNavigator(
+                events, provide_meta=self.use_skip_index, meter=meter
+            )
+            evaluator = StreamingEvaluator(
+                plan,
+                query=plan.query_plan(query),
+                meter=meter,
+                enable_skipping=self.use_skip_index,
+            )
+            view = evaluator.run(navigator)
+            meter.bytes_delivered += delivered_bytes(view)
+            per_subject[label] = SessionResult(
+                view, meter, cost_model.breakdown(meter), self.platform
+            )
+            self.stats.requests += 1
+        self.stats.batches += 1
+        self.stats.batch_subjects += len(plans)
+        return BatchResult(per_subject, shared_meter, self.platform)
+
+    # ------------------------------------------------------------------
+    def _decode_once(
+        self, prepared: PreparedDocument, meter: Meter
+    ) -> List[Event]:
+        """Decrypt + verify + decode the full store into an event list,
+        charging every primitive cost to ``meter`` exactly once."""
+        reader = prepared.scheme.reader(prepared.secure, meter)
+        navigator = SkipIndexNavigator(
+            SecureBytes(reader),
+            dictionary=prepared.encoded.dictionary,
+            start_offset=prepared.encoded.root_offset,
+            meter=meter,
+            provide_meta=False,
+        )
+        events: List[Event] = []
+        while True:
+            item = navigator.next()
+            if item is None:
+                return events
+            events.append(Event(item[0], item[1]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SecureStation(%d documents, %d grants, %d cached plans)" % (
+            len(self._documents),
+            len(self._grants),
+            len(self._plans),
+        )

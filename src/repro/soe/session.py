@@ -8,7 +8,12 @@ terminal under one of the Fig. 11 schemes.
 decrypting, integrity-checking view on the stored bytes, drives the
 Skip-index decoder and the streaming evaluator over it, and accounts
 every primitive cost in a :class:`~repro.metrics.Meter`, converted to
-simulated seconds by the :mod:`~repro.soe.costmodel`.
+simulated seconds by the :mod:`~repro.soe.costmodel`.  Since the
+engine-layer refactor the session compiles its policy into a
+:class:`~repro.engine.plans.PolicyPlan` once at construction and each
+:meth:`~SecureSession.run` executes the engine's consumer pipeline;
+multi-client serving lives in :class:`~repro.engine.station.
+SecureStation`.
 
 The tag dictionary and the document key are SOE-resident secrets
 (Section 2: delivered over a secured channel), so reading them is not
@@ -19,12 +24,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
-from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.accesscontrol.model import Policy
-from repro.crypto.integrity import BaseScheme, SecureBytes, SecureDocument, make_scheme
+from repro.crypto.integrity import BaseScheme, SecureDocument, make_scheme
 from repro.crypto.chunks import ChunkLayout
 from repro.metrics import Meter
-from repro.skipindex.decoder import SkipIndexNavigator
 from repro.skipindex.encoder import EncodedDocument, encode_document
 from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext, TimeBreakdown
 from repro.xmlkit.dom import Node
@@ -146,40 +149,40 @@ class SecureSession:
     def __init__(
         self,
         prepared: PreparedDocument,
-        policy: Policy,
+        policy: "Union[Policy, PolicyPlan]",
         query: Union[str, Path, None] = None,
         context: Union[str, PlatformContext] = "smartcard",
         use_skip_index: bool = True,
     ):
+        # The engine layer sits above the SOE; import lazily (see the
+        # layering rule in repro/engine/__init__.py).
+        from repro.engine.plans import compile_policy
+
         self.prepared = prepared
-        self.policy = policy
-        self.query = query
+        self.plan = compile_policy(policy)
+        self.policy = self.plan.policy
+        self.query = self.plan.query_plan(query)
         self.context = (
             CONTEXTS[context] if isinstance(context, str) else context
         )
         self.use_skip_index = use_skip_index
 
     def run(self) -> SessionResult:
-        meter = Meter()
-        reader = self.prepared.scheme.reader(self.prepared.secure, meter)
-        view = SecureBytes(reader)
-        navigator = SkipIndexNavigator(
-            view,
-            dictionary=self.prepared.encoded.dictionary,
-            start_offset=self.prepared.encoded.root_offset,
-            meter=meter,
-            provide_meta=self.use_skip_index,
-        )
-        evaluator = StreamingEvaluator(
-            self.policy,
+        """One SOE pass, via the engine's consumer pipeline.
+
+        The plan (and any compiled query) is reused across calls, so
+        repeated runs of one session never re-touch the XPath parser.
+        """
+        from repro.engine.pipeline import DocumentPipeline
+
+        pipeline = DocumentPipeline.consumer(
+            self.plan,
             query=self.query,
-            meter=meter,
-            enable_skipping=self.use_skip_index,
+            use_skip_index=self.use_skip_index,
+            context=self.context,
         )
-        events = evaluator.run(navigator)
-        meter.bytes_delivered += delivered_bytes(events)
-        breakdown = CostModel(self.context).breakdown(meter)
-        return SessionResult(events, meter, breakdown, self.context)
+        ctx = pipeline.run(prepared=self.prepared)
+        return SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.context)
 
 
 def lwb_bytes(view_events: List[Event]) -> int:

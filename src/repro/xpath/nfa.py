@@ -177,8 +177,22 @@ class Automaton:
         return "Automaton(%r, %d states)" % (str(self.path), len(self.states))
 
 
+#: Process-wide count of :func:`compile_path` invocations.  The engine
+#: layer's plan cache exists to keep this flat under load; the counter
+#: lets tests and benchmarks assert that it actually does
+#: (see ``benchmarks/test_engine_cache.py``).
+_compile_calls = 0
+
+
+def compile_calls() -> int:
+    """Total number of automaton compilations so far in this process."""
+    return _compile_calls
+
+
 def compile_path(path: Path) -> Automaton:
     """Compile an absolute path into an :class:`Automaton`."""
+    global _compile_calls
+    _compile_calls += 1
     automaton = Automaton(path)
     final = _compile_chain(automaton, automaton.initial, path.steps, KIND_NAV)
     automaton.state(final).is_final = True

@@ -256,12 +256,24 @@ class _Parser:
         return Predicate(path, comparison)
 
 
+#: Process-wide count of :func:`parse_xpath` invocations (the plan
+#: cache's other amortized cost; see :func:`repro.xpath.nfa.compile_calls`).
+_parse_calls = 0
+
+
+def parse_calls() -> int:
+    """Total number of XPath parses so far in this process."""
+    return _parse_calls
+
+
 def parse_xpath(expression: str) -> Path:
     """Parse ``expression`` into an absolute :class:`Path`.
 
     Raises :class:`XPathSyntaxError` on malformed input or constructs
     outside ``XP{[],*,//}``.
     """
+    global _parse_calls
+    _parse_calls += 1
     parser = _Parser(expression)
     if parser.peek()[0] == _END:
         raise XPathSyntaxError("empty expression", expression, 0)

@@ -132,6 +132,76 @@ def test_recursive_documents_agree(seed):
 
 
 # ----------------------------------------------------------------------
+# Engine-path fuzzing: compiled plans vs the DOM reference oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(1000, 1200))
+def test_fuzz_engine_path_matches_reference(seed):
+    """Randomized (document, policy, query) triples through the engine.
+
+    The engine path — a :class:`~repro.engine.plans.PolicyPlan` compiled
+    once and shared by every evaluation — must agree with
+    :func:`reference_authorized_view` exactly, across two distinct
+    random documents per plan (exercising plan reuse, the query-plan
+    memo, and both navigator configurations).
+    """
+    from repro.engine import compile_policy
+
+    rng = random.Random(seed)
+    policy = random_policy(rng)
+    query = random_path(rng) if rng.random() < 0.5 else None
+    plan = compile_policy(policy)
+    for _ in range(2):
+        tree = random_tree(rng, max_nodes=25)
+        reference = reference_authorized_view(tree, policy, query=query)
+        events = list(tree.iter_events())
+        query_plan = plan.query_plan(query)
+        for label, with_index in [("indexed", True), ("bare", False)]:
+            evaluator = StreamingEvaluator(plan, query=query_plan)
+            streamed = evaluator.run_events(events, with_index=with_index)
+            assert streamed == reference, (
+                "engine-path divergence (%s, seed=%d):\n  policy=%s\n"
+                "  query=%s\n  doc=%s\n  engine=%s\n  reference=%s"
+                % (
+                    label,
+                    seed,
+                    list(policy.rules),
+                    query,
+                    serialize_events(events),
+                    serialize_events(streamed),
+                    serialize_events(reference),
+                )
+            )
+
+
+def test_fuzz_engine_batch_matches_reference():
+    """SecureStation.evaluate_many over random cohorts == oracle."""
+    from repro.engine import SecureStation
+    from repro.xmlkit.serializer import serialize
+
+    rng = random.Random(20260730)
+    for round_index in range(10):
+        # Round-trip through text first: adjacent text children merge
+        # on parsing, and the oracle must see what the station stores.
+        from repro.xmlkit.parser import parse_document
+
+        tree = parse_document(serialize(random_tree(rng, max_nodes=30)))
+        station = SecureStation()
+        station.publish("doc", serialize(tree))
+        policies = []
+        for index in range(3):
+            policy = Policy(random_policy(rng).rules, subject="s%d" % index)
+            policies.append(policy)
+            station.grant("doc", policy)
+        batch = station.evaluate_many("doc", ["s0", "s1", "s2"])
+        for policy in policies:
+            reference = reference_authorized_view(tree, policy)
+            assert batch[policy.subject].events == reference, (
+                "batch divergence (round %d): policy=%s"
+                % (round_index, list(policy.rules))
+            )
+
+
+# ----------------------------------------------------------------------
 # Hypothesis property tests
 # ----------------------------------------------------------------------
 @st.composite
