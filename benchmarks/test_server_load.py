@@ -1,0 +1,50 @@
+"""Server load benchmark: 8 concurrent clients over localhost TCP.
+
+The acceptance workload for the `repro.server` network layer: an
+in-process :class:`StationServer` wrapping the hospital station is
+driven by the thread-based load generator with >= 8 concurrent
+clients.  Asserts every request succeeds and that real throughput /
+latency percentiles come out sane; the full report lands in
+``BENCH_server.json`` (next to ``BENCH_engine.json``).
+"""
+
+import json
+import pathlib
+
+from repro.server.loadgen import run_load, write_report
+from repro.server.service import ServerThread, StationServer, hospital_station
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+CLIENTS = 8
+QUERIES = 4
+
+
+def test_eight_client_load_writes_report():
+    station, subjects = hospital_station(folders=2)
+    server = StationServer(station)
+    with ServerThread(server) as (host, port):
+        report = run_load(
+            host, port, clients=CLIENTS, queries=QUERIES, subjects=subjects
+        )
+        stats_snapshot = dict(server.server_stats)
+
+    assert report["clients"] == CLIENTS
+    assert report["requests"] == CLIENTS * QUERIES
+    assert report["errors"] == 0, report["error_samples"]
+    assert report["throughput_rps"] > 0
+    latency = report["latency_ms"]
+    assert 0 < latency["p50"] <= latency["p95"] <= latency["max"]
+    assert report["bytes_received"] > 0
+    # The server really served that traffic (not some other instance).
+    assert stats_snapshot["queries"] == CLIENTS * QUERIES
+    assert stats_snapshot["connections"] >= CLIENTS
+    # Per-connection meters were merged into the shared one on close.
+    assert server.meter.bytes_decrypted > 0
+
+    report["server_stats"] = stats_snapshot
+    out = REPO_ROOT / "BENCH_server.json"
+    write_report(report, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["throughput_rps"] > 0
+    assert "p50" in loaded["latency_ms"] and "p95" in loaded["latency_ms"]

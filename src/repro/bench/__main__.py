@@ -26,6 +26,7 @@ from repro.bench.experiments import (
     fig11_integrity,
     fig12_real_datasets,
     render,
+    server_load,
     table1_costs,
     table2_documents,
 )
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "fig10": ("Figure 10 - impact of queries", fig10_queries),
     "fig11": ("Figure 11 - impact of integrity control", fig11_integrity),
     "fig12": ("Figure 12 - performance on real datasets", fig12_real_datasets),
+    "server": ("Server load - repro.server over localhost TCP", server_load),
 }
 
 

@@ -369,6 +369,61 @@ def fig12_real_datasets(
     }
 
 
+# ----------------------------------------------------------------------
+# Server load (post-paper: the repro.server network layer)
+# ----------------------------------------------------------------------
+def server_load(
+    clients: int = 8, queries: int = 5, folders: int = 2
+) -> Dict[str, object]:
+    """Real wall-clock serving quality of the network layer.
+
+    Starts an in-process :class:`~repro.server.service.StationServer`
+    on an ephemeral port and drives it with the thread-based load
+    generator; the row reports measured throughput and latency
+    percentiles (not simulated seconds).
+    """
+    from repro.server.loadgen import run_load
+    from repro.server.service import ServerThread, StationServer, hospital_station
+
+    station, subjects = hospital_station(folders=folders)
+    server = StationServer(station)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    try:
+        report = run_load(
+            host, port, clients=clients, queries=queries, subjects=subjects
+        )
+    finally:
+        thread.stop()
+    latency = report["latency_ms"]
+    rows = [
+        (
+            clients,
+            queries,
+            report["requests"],
+            report["errors"],
+            "%.1f" % report["throughput_rps"],
+            "%.1f" % latency["p50"],
+            "%.1f" % latency["p95"],
+            human_bytes(report["bytes_received"]),
+        )
+    ]
+    return {
+        "headers": [
+            "Clients",
+            "Queries/client",
+            "Requests",
+            "Errors",
+            "Throughput (req/s)",
+            "p50 (ms)",
+            "p95 (ms)",
+            "Received",
+        ],
+        "rows": rows,
+        "report": report,
+    }
+
+
 def render(experiment: Dict[str, object], title: str, fmt: str = "table") -> str:
     return format_output(
         experiment["rows"], experiment["headers"], fmt=fmt, title=title

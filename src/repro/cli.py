@@ -6,7 +6,10 @@ Exposes the pipeline end to end::
     python -m repro encode   doc.xml doc.xskp
     python -m repro protect  doc.xml doc.store --scheme ECB-MHT --key 00112233445566778899aabbccddeeff
     python -m repro view     doc.store --key 001122... --rule "+://book" --rule "-://internal" [--query "//book[price < 20]"]
-    python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12]
+    python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12 server]
+    python -m repro serve    --port 8471 [--hospital 3 | --store doc.store --key ... --rule ... --subject bob]
+    python -m repro remote-view 127.0.0.1:8471 hospital --subject secretary [--query ...]
+    python -m repro loadgen  127.0.0.1:8471 --clients 8 --queries 5
 
 The protected store is a self-describing file: one JSON header line
 (scheme name, layout, plaintext size) followed by the raw terminal
@@ -214,6 +217,104 @@ def cmd_bench(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Network layer (repro.server)
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.engine import SecureStation
+    from repro.server.service import StationServer, hospital_station
+
+    if args.store:
+        key = _parse_key(args.key)
+        prepared = _load_store(args.store, key)
+        station = SecureStation(context=args.context)
+        document_id = args.document_id
+        station.publish(document_id, prepared)
+        rules = _parse_rules(args.rule or [])
+        if not rules:
+            raise SystemExit("--store serving needs at least one --rule")
+        subject = args.subject or ""
+        policy = Policy(rules, subject=subject)
+        station.grant(document_id, policy, subject=subject)
+        subjects = [subject]
+    else:
+        station, subjects = hospital_station(
+            folders=args.hospital, context=args.context
+        )
+        document_id = "hospital"
+
+    server = StationServer(
+        station,
+        host=args.host,
+        port=args.port,
+        chunk_size=args.chunk_size,
+        queue_depth=args.queue_depth,
+        seal=args.seal,
+    )
+
+    async def amain() -> None:
+        host, port = await server.start()
+        print(
+            "serving %r on %s:%d (subjects: %s)%s"
+            % (
+                document_id,
+                host,
+                port,
+                ", ".join(subjects),
+                " [sealed link]" if args.seal else "",
+            ),
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(amain())
+    except KeyboardInterrupt:
+        print("station server stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_remote_view(args) -> int:
+    from repro.server.client import RemoteError, RemoteSession
+    from repro.server.loadgen import parse_address
+
+    host, port = parse_address(args.address)
+    with RemoteSession(
+        host, port, args.subject or "", connect_retry=args.connect_retry
+    ) as session:
+        try:
+            result = session.evaluate(args.document, query=args.query)
+        except RemoteError as exc:
+            raise SystemExit("server refused the query -- %s" % exc)
+        sys.stdout.write(result.text)
+        if result.text and not result.text.endswith("\n"):
+            sys.stdout.write("\n")
+        if args.costs:
+            print(
+                "# %d bytes in %d chunks; simulated %.4f s on the SOE"
+                % (result.result_bytes, result.chunks, result.seconds),
+                file=sys.stderr,
+            )
+        if args.stats:
+            print(json.dumps(session.stats(), indent=2), file=sys.stderr)
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from repro.server.loadgen import main as loadgen_main
+
+    argv = [args.address, "--clients", str(args.clients),
+            "--queries", str(args.queries), "--document", args.document,
+            "--output", args.output]
+    for subject in args.subjects or []:
+        argv += ["--subject", subject]
+    if args.query:
+        argv += ["--query", args.query]
+    return loadgen_main(argv)
+
+
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,6 +373,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format for the result tables",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a station over TCP (repro.server)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8471, help="0 binds an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--hospital",
+        type=int,
+        default=3,
+        metavar="FOLDERS",
+        help="serve the generated hospital document with the three "
+        "paper profiles (default)",
+    )
+    p_serve.add_argument("--store", help="serve a protected store file instead")
+    p_serve.add_argument("--key", help="16-byte hex key for --store")
+    p_serve.add_argument(
+        "--rule", action="append", help="access rule for --store (repeatable)"
+    )
+    p_serve.add_argument("--subject", help="subject granted the --store rules")
+    p_serve.add_argument(
+        "--document-id", default="store", help="document id for --store"
+    )
+    p_serve.add_argument("--context", default="smartcard", choices=sorted(CONTEXTS))
+    p_serve.add_argument("--chunk-size", type=int, default=4096)
+    p_serve.add_argument("--queue-depth", type=int, default=8)
+    p_serve.add_argument(
+        "--seal",
+        action="store_true",
+        help="seal every chunk under the session link key",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_remote = sub.add_parser(
+        "remote-view", help="authorized view from a running station server"
+    )
+    p_remote.add_argument("address", help="HOST:PORT")
+    p_remote.add_argument("document", help="document id (e.g. 'hospital')")
+    p_remote.add_argument("--subject", help="subject to connect as")
+    p_remote.add_argument("--query", help="XPath query over the view")
+    p_remote.add_argument(
+        "--costs", action="store_true", help="print the cost line to stderr"
+    )
+    p_remote.add_argument(
+        "--stats", action="store_true", help="print server STATS to stderr"
+    )
+    p_remote.add_argument("--connect-retry", type=float, default=5.0)
+    p_remote.set_defaults(func=cmd_remote_view)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive N clients x M queries; writes BENCH_server.json"
+    )
+    p_load.add_argument("address", help="HOST:PORT")
+    p_load.add_argument("--clients", type=int, default=8)
+    p_load.add_argument("--queries", type=int, default=5)
+    p_load.add_argument("--document", default="hospital")
+    p_load.add_argument(
+        "--subject", action="append", dest="subjects", help="repeatable"
+    )
+    p_load.add_argument("--query")
+    p_load.add_argument("--output", default="BENCH_server.json")
+    p_load.set_defaults(func=cmd_loadgen)
     return parser
 
 

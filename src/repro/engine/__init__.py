@@ -46,6 +46,10 @@ from repro.engine.station import (
     StationError,
     StationSession,
     StationStats,
+    SubjectFailure,
+    ViewStream,
+    open_sealed,
+    seal_payload,
 )
 
 __all__ = [
@@ -74,4 +78,8 @@ __all__ = [
     "StationStats",
     "StationError",
     "BatchResult",
+    "SubjectFailure",
+    "ViewStream",
+    "seal_payload",
+    "open_sealed",
 ]

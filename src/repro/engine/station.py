@@ -50,6 +50,38 @@ class StationError(KeyError):
     """Unknown document, subject or grant."""
 
 
+# ----------------------------------------------------------------------
+# Link sealing (SOE -> client)
+# ----------------------------------------------------------------------
+def seal_payload(session_key: bytes, payload: bytes) -> bytes:
+    """MAC-then-encrypt ``payload`` under a session link key.
+
+    The body is ``len || payload || HMAC-SHA1(payload)``, padded and
+    XTEA-encrypted.  The inverse is :func:`open_sealed`; both ends of
+    the SOE -> client link (station *and* the remote client SDK) share
+    this module-level pair so the wire format is defined exactly once.
+    """
+    mac = hmac.new(session_key, payload, hashlib.sha1).digest()
+    body = len(payload).to_bytes(4, "big") + payload + mac
+    cipher = Xtea(session_key)
+    return encrypt_positioned(cipher, pad_to_block(body), 0)
+
+
+def open_sealed(session_key: bytes, blob: bytes) -> bytes:
+    """Inverse of :func:`seal_payload`; raises ``ValueError`` on a bad MAC."""
+    cipher = Xtea(session_key)
+    body = decrypt_positioned(cipher, blob, 0)
+    length = int.from_bytes(body[:4], "big")
+    if length > len(body) - 4:
+        raise ValueError("sealed view is truncated")
+    payload = body[4 : 4 + length]
+    mac = body[4 + length : 4 + length + 20]
+    expected = hmac.new(session_key, payload, hashlib.sha1).digest()
+    if not hmac.compare_digest(mac, expected):
+        raise ValueError("sealed view failed authentication")
+    return payload
+
+
 class StationStats:
     """Operational counters of one station (cache behaviour, volume)."""
 
@@ -61,6 +93,7 @@ class StationStats:
         "requests",
         "batches",
         "batch_subjects",
+        "batch_failures",
     )
 
     def __init__(self):
@@ -102,34 +135,121 @@ class StationSession:
         return self.seal(serialize_events(result.events).encode("utf-8"))
 
     def seal(self, payload: bytes) -> bytes:
-        mac = hmac.new(self.session_key, payload, hashlib.sha1).digest()
-        body = len(payload).to_bytes(4, "big") + payload + mac
-        cipher = Xtea(self.session_key)
-        return encrypt_positioned(cipher, pad_to_block(body), 0)
+        return seal_payload(self.session_key, payload)
 
     def open(self, blob: bytes) -> bytes:
         """Client-side inverse of :meth:`seal` (tests / simulation)."""
-        cipher = Xtea(self.session_key)
-        body = decrypt_positioned(cipher, blob, 0)
-        length = int.from_bytes(body[:4], "big")
-        payload = body[4 : 4 + length]
-        mac = body[4 + length : 4 + length + 20]
-        expected = hmac.new(self.session_key, payload, hashlib.sha1).digest()
-        if not hmac.compare_digest(mac, expected):
-            raise ValueError("sealed view failed authentication")
-        return payload
+        return open_sealed(self.session_key, blob)
+
+    def stream_view(
+        self,
+        document_id: str,
+        query=None,
+        chunk_size: int = 4096,
+        seal: bool = False,
+    ) -> "ViewStream":
+        """Streaming hand-off for the network layer: evaluate, then
+        expose the serialized view as bounded chunks (optionally sealed
+        per chunk under this session's link key)."""
+        return self.station.stream(
+            document_id,
+            self.subject,
+            query=query,
+            chunk_size=chunk_size,
+            sealer=self.seal if seal else None,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "StationSession(%s, #%d)" % (self.subject, self.session_id)
 
 
+class ViewStream:
+    """An evaluated authorized view, packaged for chunked delivery.
+
+    The streaming hand-off between the station and the network layer
+    (:mod:`repro.server.service`): evaluation already happened, so
+    ``result`` carries the full :class:`SessionResult` for the trailer
+    metadata, while :meth:`chunks` exposes the serialized payload as
+    bounded slices a writer can flow-control — optionally sealed one
+    chunk at a time under a session link key.
+    """
+
+    __slots__ = ("result", "payload", "chunk_size", "_sealer")
+
+    def __init__(self, result, payload: bytes, chunk_size: int, sealer=None):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.result = result
+        self.payload = payload
+        self.chunk_size = chunk_size
+        self._sealer = sealer
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def chunk_count(self) -> int:
+        return (len(self.payload) + self.chunk_size - 1) // self.chunk_size
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealer is not None
+
+    def chunks(self):
+        """Yield the payload as ``chunk_size`` slices (sealed if asked).
+
+        Sealing happens lazily, chunk by chunk, so a slow consumer
+        never forces the whole view to be sealed up front.
+        """
+        for start in range(0, len(self.payload), self.chunk_size):
+            chunk = self.payload[start : start + self.chunk_size]
+            yield self._sealer(chunk) if self._sealer else chunk
+
+    def __iter__(self):
+        return self.chunks()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ViewStream(%d bytes, %d chunks%s)" % (
+            len(self.payload),
+            self.chunk_count,
+            ", sealed" if self.sealed else "",
+        )
+
+
+class SubjectFailure:
+    """Structured per-subject failure inside a batch.
+
+    One client's bad grant or crashing predicate must not kill the
+    whole multi-client response, so :meth:`SecureStation.evaluate_many`
+    records the failure in place of that subject's
+    :class:`SessionResult` and keeps serving the rest.
+    """
+
+    __slots__ = ("subject", "kind", "message")
+
+    ok = False
+
+    def __init__(self, subject: str, kind: str, message: str):
+        self.subject = subject
+        self.kind = kind
+        self.message = message
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"subject": self.subject, "kind": self.kind, "message": self.message}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SubjectFailure(%s: %s, %r)" % (self.subject, self.kind, self.message)
+
+
 class BatchResult:
     """Outcome of :meth:`SecureStation.evaluate_many`.
 
-    ``per_subject`` maps subject -> :class:`SessionResult` whose meters
-    count only that subject's evaluation and delivery; ``shared_meter``
-    carries the one-time transfer/decrypt/integrity cost of the single
-    pass over the chunks.
+    ``per_subject`` maps subject -> :class:`SessionResult` (success) or
+    :class:`SubjectFailure` (structured error); meters of successful
+    entries count only that subject's evaluation and delivery, while
+    ``shared_meter`` carries the one-time transfer/decrypt/integrity
+    cost of the single pass over the chunks.
     """
 
     def __init__(
@@ -152,12 +272,30 @@ class BatchResult:
         return len(self.per_subject)
 
     @property
+    def ok(self) -> "OrderedDict[str, SessionResult]":
+        """Successful entries only."""
+        return OrderedDict(
+            (subject, entry)
+            for subject, entry in self.per_subject.items()
+            if not isinstance(entry, SubjectFailure)
+        )
+
+    @property
+    def failures(self) -> "OrderedDict[str, SubjectFailure]":
+        """Failed entries only (empty when the whole batch succeeded)."""
+        return OrderedDict(
+            (subject, entry)
+            for subject, entry in self.per_subject.items()
+            if isinstance(entry, SubjectFailure)
+        )
+
+    @property
     def seconds(self) -> float:
         """Simulated wall time of the whole batch on the platform."""
-        merged = Meter()
-        merged.merge(self.shared_meter)
-        for result in self.per_subject.values():
-            merged.merge(result.meter)
+        merged = Meter.merged(
+            [self.shared_meter]
+            + [result.meter for result in self.ok.values()]
+        )
         return CostModel(self.context).breakdown(merged).total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -317,6 +455,20 @@ class SecureStation:
         ctx = pipeline.run(prepared=prepared)
         return SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.platform)
 
+    def stream(
+        self,
+        document_id: str,
+        subject_or_policy: Union[str, Policy, PolicyPlan],
+        query=None,
+        chunk_size: int = 4096,
+        sealer=None,
+    ) -> ViewStream:
+        """Evaluate and hand the serialized view off for chunked
+        delivery (the network layer's entry point)."""
+        result = self.evaluate(document_id, subject_or_policy, query=query)
+        payload = serialize_events(result.events).encode("utf-8")
+        return ViewStream(result, payload, chunk_size, sealer=sealer)
+
     def evaluate_many(
         self,
         document_id: str,
@@ -329,39 +481,66 @@ class SecureStation:
         exactly once (the ``shared_meter`` of the result); each
         subject's compiled plan then runs over the decoded event stream
         in SOE memory with exact Skip-index metadata.
+
+        Per-subject problems — a missing grant, a policy that fails to
+        compile, an evaluation crash — become :class:`SubjectFailure`
+        entries in the returned :class:`BatchResult` instead of
+        exceptions, so one bad subject cannot kill a multi-client
+        response.  Batch-level misuse (unknown document, duplicate
+        subjects) still raises.
         """
         prepared = self.document(document_id)
-        plans: List[Tuple[str, PolicyPlan]] = []
+        plans: List[Tuple[str, Union[PolicyPlan, SubjectFailure]]] = []
         for entry in subjects:
             if isinstance(entry, str):
-                policy = self._policy_for(document_id, entry)
                 label = entry
             else:
-                policy = entry
-                label = getattr(policy, "subject", "") or "subject%d" % len(plans)
+                label = getattr(entry, "subject", "") or "subject%d" % len(plans)
             if any(label == existing for existing, _plan in plans):
                 raise ValueError(
                     "duplicate subject %r in evaluate_many batch" % label
                 )
-            plans.append((label, self.plan_for(policy)))
+            try:
+                if isinstance(entry, str):
+                    policy = self._policy_for(document_id, entry)
+                else:
+                    policy = entry
+                plans.append((label, self.plan_for(policy)))
+            except StationError as exc:
+                plans.append((label, SubjectFailure(label, "no-grant", str(exc))))
+            except Exception as exc:
+                plans.append(
+                    (label, SubjectFailure(label, "compile-error", str(exc)))
+                )
 
         shared_meter = Meter()
         events = self._decode_once(prepared, shared_meter)
 
-        per_subject: "OrderedDict[str, SessionResult]" = OrderedDict()
+        per_subject: "OrderedDict[str, Union[SessionResult, SubjectFailure]]" = (
+            OrderedDict()
+        )
         cost_model = CostModel(self.platform)
         for label, plan in plans:
+            if isinstance(plan, SubjectFailure):
+                per_subject[label] = plan
+                self.stats.batch_failures += 1
+                continue
             meter = Meter()
-            navigator = EventListNavigator(
-                events, provide_meta=self.use_skip_index, meter=meter
-            )
-            evaluator = StreamingEvaluator(
-                plan,
-                query=plan.query_plan(query),
-                meter=meter,
-                enable_skipping=self.use_skip_index,
-            )
-            view = evaluator.run(navigator)
+            try:
+                navigator = EventListNavigator(
+                    events, provide_meta=self.use_skip_index, meter=meter
+                )
+                evaluator = StreamingEvaluator(
+                    plan,
+                    query=plan.query_plan(query),
+                    meter=meter,
+                    enable_skipping=self.use_skip_index,
+                )
+                view = evaluator.run(navigator)
+            except Exception as exc:
+                per_subject[label] = SubjectFailure(label, "evaluate", str(exc))
+                self.stats.batch_failures += 1
+                continue
             meter.bytes_delivered += delivered_bytes(view)
             per_subject[label] = SessionResult(
                 view, meter, cost_model.breakdown(meter), self.platform

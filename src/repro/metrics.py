@@ -10,7 +10,8 @@ every one of these primitive quantities; the SOE cost model
 
 from __future__ import annotations
 
-from typing import Dict
+import threading
+from typing import Dict, Iterable
 
 
 class Meter:
@@ -59,6 +60,55 @@ class Meter:
         for field in self.FIELDS:
             setattr(self, field, getattr(self, field) + getattr(other, field))
 
+    @classmethod
+    def merged(cls, meters: Iterable["Meter"]) -> "Meter":
+        """A fresh meter holding the sum of ``meters``."""
+        total = cls()
+        for meter in meters:
+            total.merge(meter)
+        return total
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         interesting = {k: v for k, v in self.as_dict().items() if v}
         return "Meter(%s)" % interesting
+
+
+class ThreadSafeMeter(Meter):
+    """A :class:`Meter` usable as a cross-thread aggregation point.
+
+    Plain meters are single-owner by design: the hot paths increment
+    fields with ``meter.events += 1`` and taking a lock per event would
+    be absurd.  Concurrent components (the network server, one
+    connection per task/thread) therefore keep a *private* plain
+    :class:`Meter` per connection and fold it into one shared
+    ``ThreadSafeMeter`` when the connection closes; only the fold and
+    the reads are serialized here.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self):
+        # The lock must exist before Meter.__init__ zeroes the fields
+        # (reset() below takes it).
+        object.__setattr__(self, "_lock", threading.Lock())
+        super().__init__()
+
+    def merge(self, other: "Meter") -> None:
+        with self._lock:
+            super().merge(other)
+
+    def reset(self) -> None:
+        with self._lock:
+            super().reset()
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return super().as_dict()
+
+    def snapshot(self) -> Meter:
+        """A point-in-time plain-:class:`Meter` copy."""
+        copy = Meter()
+        with self._lock:
+            for field in self.FIELDS:
+                setattr(copy, field, getattr(self, field))
+        return copy

@@ -1,0 +1,39 @@
+"""Network layer: server <-> terminal <-> SOE over a real socket.
+
+The paper's deployment (Section 2) separates the untrusted server
+holding the encrypted document from the terminal/SOE pair rendering
+authorized views; PR 1's :class:`~repro.engine.station.SecureStation`
+exercised that split in-process only.  This package puts a wire on the
+boundary:
+
+* :mod:`repro.server.protocol` — the length-prefixed binary frame
+  format (HELLO / WELCOME / QUERY / CHUNK / RESULT / ERROR / STATS),
+  with an incremental decoder shared by both ends;
+* :mod:`repro.server.service` — :class:`StationServer`, an asyncio TCP
+  server wrapping a station: concurrent clients, executor-offloaded
+  evaluation, bounded-queue chunk streaming, per-session limits and a
+  STATS endpoint; :class:`ServerThread` runs it from blocking code;
+* :mod:`repro.server.client` — :class:`RemoteSession`, the blocking
+  SDK mirroring the in-process evaluate API;
+* :mod:`repro.server.loadgen` — N clients x M queries, real
+  throughput / latency percentiles, ``BENCH_server.json``.
+
+Layering: ``repro.server`` sits beside the applications, *above* the
+engine; nothing below imports it.
+"""
+
+from repro.server.client import RemoteError, RemoteResult, RemoteSession
+from repro.server.protocol import Frame, FrameDecoder, ProtocolError
+from repro.server.service import ServerThread, StationServer, hospital_station
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "ProtocolError",
+    "StationServer",
+    "ServerThread",
+    "hospital_station",
+    "RemoteSession",
+    "RemoteResult",
+    "RemoteError",
+]

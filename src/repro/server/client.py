@@ -1,0 +1,255 @@
+"""Blocking client SDK for the station server.
+
+:class:`RemoteSession` mirrors the in-process evaluation APIs —
+``evaluate(document_id, query)`` like :meth:`SecureStation.evaluate`,
+``view()`` like :meth:`StationSession.view` — so code written against
+the local station runs unmodified against a live server.  The returned
+:class:`RemoteResult` carries the reassembled authorized view (bytes,
+text and, lazily, the event stream) plus the server's RESULT trailer
+(simulated seconds, meter counts).
+
+Plain ``socket`` + the shared :class:`~repro.server.protocol
+.FrameDecoder`; no asyncio on this side, by design — the SDK must be
+trivially usable from tests, benchmark threads and the CLI.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.station import open_sealed
+from repro.server import protocol
+from repro.server.protocol import (
+    BYE,
+    CHUNK,
+    ERROR,
+    HELLO,
+    QUERY,
+    RESULT,
+    STATS,
+    STATS_REQUEST,
+    WELCOME,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    json_frame,
+)
+
+
+class RemoteError(RuntimeError):
+    """A structured ERROR frame from the server."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__("%s: %s" % (code, message))
+        self.code = code
+        self.message = message
+
+
+class RemoteResult:
+    """One remote authorized view + the server's cost trailer."""
+
+    def __init__(self, data: bytes, trailer: Dict[str, Any]):
+        self.data = data
+        self.trailer = trailer
+
+    @property
+    def text(self) -> str:
+        return self.data.decode("utf-8")
+
+    @property
+    def events(self):
+        """The view as an event stream (lazily re-parsed from the text).
+
+        Note synthetic ``<@attr>`` elements do not round-trip through
+        XML text (see :func:`repro.xmlkit.serializer.serialize_events`);
+        compare ``data`` bytes when exactness matters.
+        """
+        if not self.data:
+            return []
+        from repro.xmlkit.parser import parse_document
+
+        return list(parse_document(self.text).iter_events())
+
+    @property
+    def seconds(self) -> float:
+        """Simulated SOE seconds, as accounted by the server."""
+        return float(self.trailer.get("seconds", 0.0))
+
+    @property
+    def meter(self) -> Dict[str, int]:
+        return dict(self.trailer.get("meter", {}))
+
+    @property
+    def chunks(self) -> int:
+        return int(self.trailer.get("chunks", 0))
+
+    @property
+    def result_bytes(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RemoteResult(%d bytes, %d chunks, %.3fs simulated)" % (
+            len(self.data),
+            self.chunks,
+            self.seconds,
+        )
+
+
+class RemoteSession:
+    """One authenticated connection to a :class:`StationServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    subject:
+        The subject to bind (HELLO); grants are looked up server-side.
+    timeout:
+        Socket timeout for each receive, seconds.
+    connect_retry:
+        Keep retrying the initial TCP connect for this many seconds —
+        lets clients race a server that is still binding (CI).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        subject: str,
+        timeout: float = 30.0,
+        connect_retry: float = 0.0,
+    ):
+        self.host = host
+        self.port = port
+        self.subject = subject
+        self._sock = self._connect((host, port), timeout, connect_retry)
+        self._sock.settimeout(timeout)
+        self._decoder = FrameDecoder()
+        self._pending: List[Frame] = []
+        self._closed = False
+
+        self._send(json_frame(HELLO, 0, {"subject": subject}))
+        welcome = self._expect(WELCOME).json()
+        self.session_id: int = welcome["session"]
+        self.session_key: bytes = bytes.fromhex(welcome.get("key", ""))
+        self.sealed: bool = bool(welcome.get("seal"))
+        self.limits: Dict[str, int] = dict(welcome.get("limits", {}))
+        # Adopt the server's negotiated frame limit so a server
+        # configured above the protocol default doesn't latch our
+        # decoder dead on its first big CHUNK.
+        negotiated = self.limits.get("max_payload")
+        if negotiated:
+            self._decoder.max_payload = int(negotiated)
+
+    @staticmethod
+    def _connect(
+        address: Tuple[str, int], timeout: float, connect_retry: float
+    ) -> socket.socket:
+        deadline = time.monotonic() + connect_retry
+        while True:
+            try:
+                return socket.create_connection(address, timeout=timeout)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, document_id: str, query: Optional[str] = None) -> RemoteResult:
+        """The authorized view of ``document_id`` for this subject.
+
+        Mirrors :meth:`SecureStation.evaluate` /
+        :meth:`StationSession.view`; raises :class:`RemoteError` on a
+        structured server error.
+        """
+        self._send(
+            json_frame(
+                QUERY,
+                self.session_id,
+                {"document": document_id, "query": query},
+            )
+        )
+        parts: List[bytes] = []
+        while True:
+            frame = self._recv()
+            if frame.type == CHUNK:
+                chunk = frame.payload
+                if self.sealed:
+                    chunk = open_sealed(self.session_key, chunk)
+                parts.append(chunk)
+            elif frame.type == RESULT:
+                return RemoteResult(b"".join(parts), frame.json())
+            elif frame.type == ERROR:
+                raise self._error(frame)
+            else:
+                raise ProtocolError(
+                    "unexpected %s frame during a query" % frame.type_name
+                )
+
+    #: Alias mirroring :meth:`StationSession.view`.
+    view = evaluate
+
+    def stats(self) -> Dict[str, Any]:
+        """Station + server operational counters (a STATS round-trip)."""
+        self._send(json_frame(STATS_REQUEST, self.session_id, {}))
+        frame = self._expect(STATS)
+        return frame.json()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._send(protocol.encode_frame(BYE, self.session_id))
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _send(self, data: bytes) -> None:
+        self._sock.sendall(data)
+
+    def _recv(self) -> Frame:
+        while not self._pending:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.pop(0)
+
+    def _expect(self, ftype: int) -> Frame:
+        frame = self._recv()
+        if frame.type == ERROR:
+            raise self._error(frame)
+        if frame.type != ftype:
+            raise ProtocolError(
+                "expected %s, got %s"
+                % (protocol.TYPE_NAMES[ftype], frame.type_name)
+            )
+        return frame
+
+    @staticmethod
+    def _error(frame: Frame) -> RemoteError:
+        try:
+            body = frame.json()
+        except ProtocolError:
+            body = {}
+        return RemoteError(
+            body.get("code", "unknown"), body.get("message", "server error")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RemoteSession(%s@%s:%d, #%d)" % (
+            self.subject,
+            self.host,
+            self.port,
+            getattr(self, "session_id", 0),
+        )

@@ -1,0 +1,242 @@
+"""Concurrent load generator for the station server.
+
+Drives N blocking :class:`~repro.server.client.RemoteSession` clients
+from N threads, each issuing M queries, and reports real wall-clock
+service quality — throughput (requests/s), latency percentiles
+(p50/p95/p99) and error counts — next to the *simulated* SOE seconds
+the cost model accounts per view.  The report lands in
+``BENCH_server.json`` (same convention as ``BENCH_engine.json``).
+
+Run it against any live server::
+
+    python -m repro.server.loadgen 127.0.0.1:8471 --clients 8 --queries 5
+
+or via the CLI: ``repro loadgen 127.0.0.1:8471 ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.server.client import RemoteError, RemoteSession
+
+#: Subjects granted by :func:`repro.server.service.hospital_station`.
+DEFAULT_SUBJECTS = ("secretary", "doctor0", "researcher")
+DEFAULT_DOCUMENT = "hospital"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (q in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+class _Worker(threading.Thread):
+    """One client: a session issuing ``queries`` sequential requests."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        subject: str,
+        document: str,
+        queries: int,
+        query: Optional[str],
+        connect_retry: float,
+        barrier: threading.Barrier,
+    ):
+        super().__init__(daemon=True)
+        self.args = (host, port, subject, document, queries, query)
+        self.connect_retry = connect_retry
+        self.barrier = barrier
+        self.latencies: List[float] = []
+        self.bytes_received = 0
+        self.simulated_seconds = 0.0
+        self.errors: List[str] = []
+
+    def run(self) -> None:
+        host, port, subject, document, queries, query = self.args
+        try:
+            session = RemoteSession(
+                host, port, subject, connect_retry=self.connect_retry
+            )
+        except Exception as exc:  # noqa: BLE001 - anything must be reported
+            self.errors.append("connect: %s" % exc)
+            try:
+                self.barrier.wait(timeout=30)
+            except threading.BrokenBarrierError:
+                pass
+            return
+        with session:
+            # Start all workers' query phases together so concurrency
+            # is real, not an artifact of staggered connects.
+            try:
+                self.barrier.wait(timeout=30)
+            except threading.BrokenBarrierError:
+                pass
+            for _ in range(queries):
+                start = time.perf_counter()
+                try:
+                    result = session.evaluate(document, query=query)
+                except RemoteError as exc:
+                    self.errors.append(str(exc))
+                    continue
+                except Exception as exc:  # noqa: BLE001 - a dead thread
+                    # would silently under-run the benchmark; record
+                    # the failure and stop this worker instead.
+                    self.errors.append("fatal: %s" % exc)
+                    return
+                self.latencies.append(time.perf_counter() - start)
+                self.bytes_received += result.result_bytes
+                self.simulated_seconds += result.seconds
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 8,
+    queries: int = 5,
+    document: str = DEFAULT_DOCUMENT,
+    subjects: Sequence[str] = DEFAULT_SUBJECTS,
+    query: Optional[str] = None,
+    connect_retry: float = 10.0,
+) -> Dict[str, Any]:
+    """N clients x M queries against ``host:port``; returns the report."""
+    barrier = threading.Barrier(clients)
+    workers = [
+        _Worker(
+            host,
+            port,
+            subjects[index % len(subjects)],
+            document,
+            queries,
+            query,
+            connect_retry,
+            barrier,
+        )
+        for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - start
+
+    latencies = [lat for worker in workers for lat in worker.latencies]
+    errors = [err for worker in workers for err in worker.errors]
+    requests = len(latencies)
+    return {
+        "bench": "server_load",
+        "address": "%s:%d" % (host, port),
+        "clients": clients,
+        "queries_per_client": queries,
+        "document": document,
+        "subjects": list(subjects),
+        "requests": requests,
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "elapsed_seconds": round(elapsed, 4),
+        "throughput_rps": round(requests / elapsed, 2) if elapsed else 0.0,
+        "bytes_received": sum(worker.bytes_received for worker in workers),
+        "simulated_soe_seconds": round(
+            sum(worker.simulated_seconds for worker in workers), 4
+        ),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50) * 1000, 3),
+            "p95": round(percentile(latencies, 95) * 1000, 3),
+            "p99": round(percentile(latencies, 99) * 1000, 3),
+            "mean": round(
+                sum(latencies) / requests * 1000 if requests else 0.0, 3
+            ),
+            "max": round(max(latencies) * 1000 if latencies else 0.0, 3),
+        },
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    host, _sep, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            "address must look like HOST:PORT, got %r" % text
+        )
+    return host, int(port)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.server.loadgen",
+        description="concurrent load generator for the station server",
+    )
+    parser.add_argument("address", type=parse_address, help="HOST:PORT")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--queries", type=int, default=5, help="per client")
+    parser.add_argument("--document", default=DEFAULT_DOCUMENT)
+    parser.add_argument(
+        "--subject",
+        action="append",
+        dest="subjects",
+        help="subject(s) to cycle clients through (repeatable)",
+    )
+    parser.add_argument("--query", help="optional XPath query")
+    parser.add_argument(
+        "--output", default="BENCH_server.json", help="report path"
+    )
+    parser.add_argument(
+        "--connect-retry",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial connect",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    host, port = args.address
+    report = run_load(
+        host,
+        port,
+        clients=args.clients,
+        queries=args.queries,
+        document=args.document,
+        subjects=tuple(args.subjects) if args.subjects else DEFAULT_SUBJECTS,
+        query=args.query,
+        connect_retry=args.connect_retry,
+    )
+    write_report(report, args.output)
+    print(
+        "%(requests)d requests from %(clients)d clients in "
+        "%(elapsed_seconds).2fs -> %(throughput_rps).1f req/s, "
+        % report
+        + "p50 %.1f ms, p95 %.1f ms, %d errors (report: %s)"
+        % (
+            report["latency_ms"]["p50"],
+            report["latency_ms"]["p95"],
+            report["errors"],
+            args.output,
+        )
+    )
+    expected = args.clients * args.queries
+    return 0 if report["errors"] == 0 and report["requests"] == expected else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

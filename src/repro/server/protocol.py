@@ -1,0 +1,201 @@
+"""The station wire protocol: length-prefixed binary frames.
+
+The deployment of Section 2 puts a network between the server that
+stores the encrypted document and the terminal/SOE pair that renders
+authorized views.  This module defines the one wire format both ends
+speak — a fixed 11-byte header followed by an opaque payload::
+
+    +-------+---------+------+------------+----------------+---------+
+    | MAGIC | VERSION | TYPE | SESSION ID | PAYLOAD LENGTH | PAYLOAD |
+    |  1 B  |   1 B   | 1 B  |  4 B (BE)  |    4 B (BE)    |  0..N B |
+    +-------+---------+------+------------+----------------+---------+
+
+Control payloads (HELLO, WELCOME, QUERY, RESULT, ERROR, STATS) are
+UTF-8 JSON objects; CHUNK payloads are raw bytes of the serialized
+authorized view (optionally sealed under the session link key).  The
+:class:`FrameDecoder` is incremental — feed it arbitrary byte slices
+from a socket or an asyncio reader and it yields complete frames —
+so the same code serves the blocking client SDK and the asyncio
+server.  Every malformed input (bad magic/version, unknown type,
+oversized payload) raises :class:`ProtocolError` rather than
+desynchronizing the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+MAGIC = 0xC5
+VERSION = 1
+
+_HEADER = struct.Struct("!BBBII")
+HEADER_SIZE = _HEADER.size  # 11 bytes
+
+#: Hard ceiling on one frame's payload; both sides enforce it so a
+#: corrupt or hostile length field cannot force an 4 GiB allocation.
+DEFAULT_MAX_PAYLOAD = 1 << 20
+
+# Frame types ----------------------------------------------------------
+HELLO = 0x01  # client -> server: {"subject": ...}
+WELCOME = 0x02  # server -> client: {"session": ..., "key": ..., "limits": ...}
+QUERY = 0x03  # client -> server: {"document": ..., "query": ...}
+CHUNK = 0x04  # server -> client: raw view bytes (one bounded slice)
+RESULT = 0x05  # server -> client: end-of-stream trailer (counts, seconds)
+ERROR = 0x06  # server -> client: {"code": ..., "message": ...}
+STATS_REQUEST = 0x07  # client -> server: {}
+STATS = 0x08  # server -> client: {"station": ..., "server": ..., "meter": ...}
+BYE = 0x09  # client -> server: graceful close
+
+TYPE_NAMES = {
+    HELLO: "HELLO",
+    WELCOME: "WELCOME",
+    QUERY: "QUERY",
+    CHUNK: "CHUNK",
+    RESULT: "RESULT",
+    ERROR: "ERROR",
+    STATS_REQUEST: "STATS_REQUEST",
+    STATS: "STATS",
+    BYE: "BYE",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed frame: bad magic/version, unknown type, bad length."""
+
+
+class Frame:
+    """One decoded frame: ``(type, session, payload)``."""
+
+    __slots__ = ("type", "session", "payload")
+
+    def __init__(self, ftype: int, session: int, payload: bytes = b""):
+        self.type = ftype
+        self.session = session
+        self.payload = payload
+
+    @property
+    def type_name(self) -> str:
+        return TYPE_NAMES.get(self.type, "0x%02x" % self.type)
+
+    def json(self) -> Dict[str, Any]:
+        """Decode the payload as a JSON object."""
+        try:
+            obj = json.loads(self.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                "%s payload is not valid JSON: %s" % (self.type_name, exc)
+            )
+        if not isinstance(obj, dict):
+            raise ProtocolError(
+                "%s payload must be a JSON object" % self.type_name
+            )
+        return obj
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Frame)
+            and self.type == other.type
+            and self.session == other.session
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.session, self.payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Frame(%s, session=%d, %d bytes)" % (
+            self.type_name,
+            self.session,
+            len(self.payload),
+        )
+
+
+def encode_frame(
+    ftype: int,
+    session: int,
+    payload: bytes = b"",
+    max_payload: int = DEFAULT_MAX_PAYLOAD,
+) -> bytes:
+    """Serialize one frame; validates type and payload size."""
+    if ftype not in TYPE_NAMES:
+        raise ProtocolError("unknown frame type 0x%02x" % ftype)
+    if not 0 <= session <= 0xFFFFFFFF:
+        raise ProtocolError("session id %d out of range" % session)
+    if len(payload) > max_payload:
+        raise ProtocolError(
+            "payload of %d bytes exceeds the %d-byte frame limit"
+            % (len(payload), max_payload)
+        )
+    return _HEADER.pack(MAGIC, VERSION, ftype, session, len(payload)) + payload
+
+
+def json_frame(
+    ftype: int,
+    session: int,
+    obj: Dict[str, Any],
+    max_payload: int = DEFAULT_MAX_PAYLOAD,
+) -> bytes:
+    """Serialize a control frame whose payload is a JSON object."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return encode_frame(ftype, session, payload, max_payload=max_payload)
+
+
+class FrameDecoder:
+    """Incremental frame parser over an unframed byte stream.
+
+    ``feed()`` accepts any slice of bytes (a partial header, ten frames
+    at once …) and returns the frames completed by it; partial input is
+    buffered until the rest arrives.  Validation happens as soon as the
+    header is complete, so an oversized length field is rejected before
+    any payload is buffered.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD):
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        self._dead: Optional[ProtocolError] = None
+
+    def feed(self, data: bytes) -> List[Frame]:
+        if self._dead is not None:
+            raise self._dead
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Frame]:
+        if len(self._buffer) < HEADER_SIZE:
+            return None
+        magic, version, ftype, session, length = _HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise self._fail("bad magic byte 0x%02x" % magic)
+        if version != VERSION:
+            raise self._fail("unsupported protocol version %d" % version)
+        if ftype not in TYPE_NAMES:
+            raise self._fail("unknown frame type 0x%02x" % ftype)
+        if length > self.max_payload:
+            raise self._fail(
+                "declared payload of %d bytes exceeds the %d-byte frame limit"
+                % (length, self.max_payload)
+            )
+        if len(self._buffer) < HEADER_SIZE + length:
+            return None
+        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+        del self._buffer[: HEADER_SIZE + length]
+        return Frame(ftype, session, payload)
+
+    def _fail(self, message: str) -> ProtocolError:
+        # A framing error is unrecoverable: there is no way to find the
+        # next frame boundary, so the decoder latches the error.
+        self._dead = ProtocolError(message)
+        return self._dead
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

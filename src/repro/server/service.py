@@ -1,0 +1,555 @@
+"""The asyncio station server: many clients, one `SecureStation`.
+
+Topology (the network form of Fig. 2)::
+
+    client SDK  <== TCP, repro.server.protocol frames ==>  StationServer
+    (RemoteSession)                                        (asyncio)
+                                                               |
+                                                         SecureStation
+                                                        (the SOE facade)
+
+Design points:
+
+* **One event loop, CPU work off-loop.**  Policy evaluation is pure
+  python and can take seconds on big documents; each QUERY runs in the
+  default thread-pool executor under the station lock (the station's
+  plan-cache LRU is not thread-safe), so the loop keeps accepting
+  connections and serving STATS while a view is computed.
+* **Bounded-queue backpressure.**  The producer thread prepares (and,
+  with ``seal=True``, encrypts) view chunks and *blocks* on a
+  ``queue_depth``-slot gate until the writer task has flushed earlier
+  chunks with ``await writer.drain()``.  A slow client therefore
+  stalls its own producer thread, bounding the frames (and sealing
+  work) in flight per connection.  Note the *serialized plaintext
+  view* itself is materialized once per request by
+  :meth:`SecureStation.stream` — the bound is on chunk copies and
+  sealing, not on the view.
+* **Per-session limits.**  Frame payloads are capped by the protocol
+  decoder and each session may issue at most ``max_queries_per_session``
+  QUERYs; violations get a structured ERROR frame.
+* **Metered.**  Every connection keeps a private
+  :class:`~repro.metrics.Meter`, merged into the server's shared
+  :class:`~repro.metrics.ThreadSafeMeter` on close; STATS reports the
+  station counters, the server counters and the merged meter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.station import SecureStation, StationError, StationSession
+from repro.metrics import Meter, ThreadSafeMeter
+from repro.server import protocol
+from repro.server.protocol import (
+    BYE,
+    CHUNK,
+    ERROR,
+    HELLO,
+    QUERY,
+    RESULT,
+    STATS,
+    STATS_REQUEST,
+    WELCOME,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    json_frame,
+)
+
+#: Error codes carried by ERROR frames.
+E_BAD_FRAME = "bad-frame"
+E_PROTOCOL = "protocol"
+E_UNKNOWN_DOCUMENT = "unknown-document"
+E_NO_GRANT = "no-grant"
+E_LIMIT = "limit"
+E_INTERNAL = "internal"
+
+#: Worst-case growth of a sealed chunk over its plaintext: 4-byte
+#: length + 20-byte HMAC-SHA1 + up to 8 bytes of block padding.
+SEAL_OVERHEAD = 32
+
+
+class _Connection:
+    """Per-connection state living on the event loop."""
+
+    __slots__ = ("session", "meter", "queries", "peer")
+
+    def __init__(self, peer: str):
+        self.session: Optional[StationSession] = None
+        self.meter = Meter()
+        self.queries = 0
+        self.peer = peer
+
+    @property
+    def session_id(self) -> int:
+        return self.session.session_id if self.session else 0
+
+
+class StationServer:
+    """Serve a :class:`SecureStation` over TCP to many concurrent clients."""
+
+    def __init__(
+        self,
+        station: SecureStation,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        chunk_size: int = 4096,
+        queue_depth: int = 8,
+        max_queries_per_session: int = 10_000,
+        max_payload: int = protocol.DEFAULT_MAX_PAYLOAD,
+        seal: bool = False,
+    ):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if chunk_size + (SEAL_OVERHEAD if seal else 0) > max_payload:
+            raise ValueError(
+                "chunk_size %d%s cannot fit the %d-byte frame payload limit"
+                % (
+                    chunk_size,
+                    " (+%d seal overhead)" % SEAL_OVERHEAD if seal else "",
+                    max_payload,
+                )
+            )
+        self.station = station
+        self.host = host
+        self.port = port
+        self.chunk_size = chunk_size
+        self.queue_depth = queue_depth
+        self.max_queries_per_session = max_queries_per_session
+        self.max_payload = max_payload
+        self.seal = seal
+        self.meter = ThreadSafeMeter()
+        self.server_stats: Dict[str, int] = {
+            "connections": 0,
+            "active": 0,
+            "queries": 0,
+            "errors": 0,
+            "chunks_streamed": 0,
+            "bytes_streamed": 0,
+        }
+        self._station_lock = threading.Lock()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ephemeral port 0)."""
+        return self.host, self.port
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Wind down in-flight connections; their handlers catch the
+        # cancellation and run their meter-merging cleanup.
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        peername = writer.get_extra_info("peername")
+        conn = _Connection("%s:%s" % (peername[0], peername[1]) if peername else "?")
+        decoder = FrameDecoder(self.max_payload)
+        self.server_stats["connections"] += 1
+        self.server_stats["active"] += 1
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    await self._send_error(writer, conn, E_BAD_FRAME, str(exc))
+                    return
+                for frame in frames:
+                    if not await self._dispatch(frame, conn, writer):
+                        return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Deliberate swallow: the server is shutting down and the
+            # task must end cleanly (a cancelled client_connected_cb
+            # task makes the streams machinery log spurious errors).
+            pass
+        finally:
+            self._tasks.discard(task)
+            self.meter.merge(conn.meter)
+            self.server_stats["active"] -= 1
+            writer.close()
+
+    async def _dispatch(
+        self, frame: Frame, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one frame; returns False to close the connection."""
+        if frame.type == BYE:
+            return False
+        if frame.type == HELLO:
+            return await self._on_hello(frame, conn, writer)
+        if conn.session is None:
+            await self._send_error(
+                writer, conn, E_PROTOCOL, "first frame must be HELLO"
+            )
+            return False
+        if frame.type == QUERY:
+            return await self._on_query(frame, conn, writer)
+        if frame.type == STATS_REQUEST:
+            return await self._on_stats(conn, writer)
+        await self._send_error(
+            writer,
+            conn,
+            E_PROTOCOL,
+            "unexpected %s frame from client" % frame.type_name,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    async def _on_hello(
+        self, frame: Frame, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> bool:
+        if conn.session is not None:
+            await self._send_error(writer, conn, E_PROTOCOL, "duplicate HELLO")
+            return False
+        try:
+            subject = frame.json()["subject"]
+        except (ProtocolError, KeyError):
+            await self._send_error(
+                writer, conn, E_BAD_FRAME, "HELLO payload must carry a subject"
+            )
+            return False
+        # The lock may be held for seconds by a query evaluating on an
+        # executor thread; never block the event loop waiting for it.
+        loop = asyncio.get_running_loop()
+        name = str(subject)
+
+        def connect():
+            with self._station_lock:
+                return self.station.connect(name)
+
+        conn.session = await loop.run_in_executor(None, connect)
+        welcome = {
+            "session": conn.session.session_id,
+            "subject": conn.session.subject,
+            # The paper delivers session credentials over the secure
+            # provisioning channel (Section 2); this toy transport
+            # stands in for that channel, so the link key rides along.
+            "key": conn.session.session_key.hex(),
+            "seal": self.seal,
+            "limits": {
+                "max_payload": self.max_payload,
+                "max_queries": self.max_queries_per_session,
+                "chunk_size": self.chunk_size,
+            },
+        }
+        await self._send(writer, json_frame(WELCOME, conn.session_id, welcome))
+        return True
+
+    async def _on_query(
+        self, frame: Frame, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> bool:
+        try:
+            body = frame.json()
+            document_id = body["document"]
+        except (ProtocolError, KeyError):
+            await self._send_error(
+                writer, conn, E_BAD_FRAME, "QUERY payload must carry a document"
+            )
+            return False
+        query = body.get("query") or None
+        conn.queries += 1
+        if conn.queries > self.max_queries_per_session:
+            await self._send_error(
+                writer,
+                conn,
+                E_LIMIT,
+                "session exceeded %d queries" % self.max_queries_per_session,
+            )
+            return False
+        self.server_stats["queries"] += 1
+
+        loop = asyncio.get_running_loop()
+        session = conn.session
+
+        def evaluate():
+            with self._station_lock:
+                return session.stream_view(
+                    document_id,
+                    query=query,
+                    chunk_size=self.chunk_size,
+                    seal=self.seal,
+                )
+
+        try:
+            stream = await loop.run_in_executor(None, evaluate)
+        except StationError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            code = E_NO_GRANT if "grant" in message else E_UNKNOWN_DOCUMENT
+            await self._send_error(writer, conn, code, message)
+            return True  # recoverable: the session may query other documents
+        except Exception as exc:
+            await self._send_error(writer, conn, E_INTERNAL, str(exc))
+            return True
+
+        sent = await self._stream_chunks(stream, conn, writer)
+        if sent is None:
+            return False
+        chunks, sent_bytes = sent
+        conn.meter.merge(stream.result.meter)
+        trailer = {
+            "chunks": chunks,
+            "bytes": stream.payload_bytes,
+            "sealed": stream.sealed,
+            "seconds": stream.result.seconds,
+            "meter": {
+                k: v for k, v in stream.result.meter.as_dict().items() if v
+            },
+        }
+        await self._send(writer, json_frame(RESULT, conn.session_id, trailer))
+        self.server_stats["chunks_streamed"] += chunks
+        self.server_stats["bytes_streamed"] += sent_bytes
+        return True
+
+    async def _stream_chunks(
+        self, stream, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> Optional[Tuple[int, int]]:
+        """Producer/consumer chunk streaming with a bounded queue.
+
+        Returns ``(chunks, bytes)`` or ``None`` when the connection
+        died mid-stream.
+        """
+        loop = asyncio.get_running_loop()
+        # The producer thread blocks on this gate until the writer has
+        # flushed earlier chunks: that *is* the backpressure.  A plain
+        # threading primitive (not a cross-thread queue.put) so that
+        # the abort path below can unblock the producer synchronously
+        # — no awaits — and therefore works even when this task is
+        # being cancelled by StationServer.stop().
+        gate = threading.Semaphore(self.queue_depth)
+        aborted = threading.Event()
+        queue: "asyncio.Queue" = asyncio.Queue()
+
+        def produce():
+            try:
+                for chunk in stream.chunks():
+                    gate.acquire()
+                    if aborted.is_set():
+                        return
+                    loop.call_soon_threadsafe(queue.put_nowait, chunk)
+                loop.call_soon_threadsafe(queue.put_nowait, None)
+            except Exception as exc:  # surfaced to the consumer below
+                loop.call_soon_threadsafe(queue.put_nowait, exc)
+
+        producer = loop.run_in_executor(None, produce)
+        chunks = 0
+        sent_bytes = 0
+        try:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    break
+                if isinstance(item, Exception):
+                    await self._send_error(writer, conn, E_INTERNAL, str(item))
+                    return None
+                await self._send(
+                    writer,
+                    encode_frame(
+                        CHUNK,
+                        conn.session_id,
+                        item,
+                        max_payload=self.max_payload,
+                    ),
+                )
+                chunks += 1
+                sent_bytes += len(item)
+                gate.release()
+            await producer  # near-instant: the sentinel was just put
+        except (ConnectionResetError, BrokenPipeError):
+            return None
+        finally:
+            # Early exit (client gone, error, cancellation): unpark a
+            # producer waiting on the gate so its thread can observe
+            # `aborted` and finish — no executor threads leak.
+            aborted.set()
+            gate.release()
+        return chunks, sent_bytes
+
+    async def _on_stats(
+        self, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> bool:
+        # Merge the live (not-yet-closed) connection's meter into the
+        # snapshot so STATS reflects the caller's own traffic too.
+        merged = self.meter.snapshot()
+        merged.merge(conn.meter)
+        body = {
+            "station": self.station.stats.as_dict(),
+            "cached_plans": self.station.cached_plans(),
+            "server": dict(self.server_stats),
+            "meter": {k: v for k, v in merged.as_dict().items() if v},
+        }
+        await self._send(writer, json_frame(STATS, conn.session_id, body))
+        return True
+
+    # ------------------------------------------------------------------
+    async def _send(self, writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(data)
+        await writer.drain()
+
+    async def _send_error(
+        self,
+        writer: asyncio.StreamWriter,
+        conn: _Connection,
+        code: str,
+        message: str,
+    ) -> None:
+        self.server_stats["errors"] += 1
+        try:
+            await self._send(
+                writer,
+                json_frame(
+                    ERROR,
+                    conn.session_id,
+                    {"code": code, "message": message},
+                ),
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "StationServer(%s:%d, %d active)" % (
+            self.host,
+            self.port,
+            self.server_stats["active"],
+        )
+
+
+class ServerThread:
+    """Run a :class:`StationServer` on a private loop in a daemon thread.
+
+    The blocking client SDK, the load generator and the tests all need
+    a live server without owning an event loop themselves; this is the
+    bridge.  ``start()`` blocks until the port is bound and returns the
+    address; ``stop()`` shuts the loop down and joins the thread.
+    """
+
+    def __init__(self, server: StationServer):
+        self.server = server
+        self.error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping: Optional[asyncio.Event] = None
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        started = threading.Event()
+
+        def run():
+            try:
+                asyncio.run(self._main(started))
+            except BaseException as exc:  # noqa: BLE001 - reported to starter
+                self.error = exc
+            finally:
+                started.set()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-station-server", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("station server did not start in %.1fs" % timeout)
+        if self.error is not None:
+            raise RuntimeError("station server failed to start") from self.error
+        return self.server.address
+
+    async def _main(self, started: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        await self.server.start()
+        started.set()
+        await self._stopping.wait()
+        await self.server.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stopping is not None:
+            self._loop.call_soon_threadsafe(self._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# Bootstrap: a ready-to-serve hospital station
+# ----------------------------------------------------------------------
+def hospital_station(
+    folders: int = 3,
+    seed: int = 7,
+    context: str = "smartcard",
+    use_skip_index: bool = True,
+    groups: int = 3,
+) -> Tuple[SecureStation, List[str]]:
+    """A station serving the Fig. 1 hospital document under the three
+    paper profiles; returns ``(station, granted subjects)``.
+
+    Shared by ``repro serve``, the load generator's defaults, the
+    server benchmark and the end-to-end tests, so they all agree on
+    document id (``"hospital"``) and subjects.
+    """
+    from repro.datasets.hospital import (
+        GROUPS,
+        HospitalConfig,
+        doctor_policy,
+        generate_hospital,
+        researcher_policy,
+        secretary_policy,
+    )
+
+    config = HospitalConfig(
+        folders=folders,
+        doctors=4,
+        acts_per_folder=3,
+        labresults_per_folder=2,
+        seed=seed,
+    )
+    tree = generate_hospital(config)
+    station = SecureStation(context=context, use_skip_index=use_skip_index)
+    station.publish("hospital", tree)
+    doctor = config.doctor_names()[0]
+    policies = [
+        secretary_policy(),
+        doctor_policy(doctor),
+        researcher_policy(GROUPS[:groups]),
+    ]
+    for policy in policies:
+        station.grant("hospital", policy)
+    return station, [policy.subject for policy in policies]
