@@ -52,6 +52,7 @@ from repro.accesscontrol.model import (
 )
 from repro.accesscontrol.reference import reference_authorized_view
 from repro.metrics import Meter
+from repro.skipindex.updates import UpdateOp
 from repro.xmlkit.dom import Node
 from repro.xmlkit.events import Event, events_to_tree
 
@@ -78,6 +79,7 @@ __all__ = [
     "compile_query",
     "DocumentPipeline",
     "SecureStation",
+    "UpdateOp",
     "__version__",
 ]
 

@@ -29,6 +29,7 @@ from repro.bench.experiments import (
     server_load,
     table1_costs,
     table2_documents,
+    updates_experiment,
 )
 from repro.bench.reporting import FORMATS
 
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "fig11": ("Figure 11 - impact of integrity control", fig11_integrity),
     "fig12": ("Figure 12 - performance on real datasets", fig12_real_datasets),
     "server": ("Server load - repro.server over localhost TCP", server_load),
+    "updates": ("Updates - live dirty-chunk re-encryption costs", updates_experiment),
 }
 
 

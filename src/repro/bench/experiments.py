@@ -424,6 +424,144 @@ def server_load(
     }
 
 
+# ----------------------------------------------------------------------
+# Updates (post-paper: the live update path of Section 4.1)
+# ----------------------------------------------------------------------
+def _first_text_path(tree) -> Tuple[List[int], str]:
+    """Index path of a reasonably deep element with direct text."""
+    from repro.xmlkit.dom import Node
+
+    best: Tuple[List[int], str] = ([], "")
+
+    def visit(node, path):
+        nonlocal best
+        text = "".join(c for c in node.children if isinstance(c, str))
+        if len(text) >= 4 and len(path) > len(best[0]):
+            best = (list(path), text)
+        for index, child in enumerate(
+            c for c in node.children if isinstance(c, Node)
+        ):
+            visit(child, path + [index])
+
+    visit(tree, [])
+    return best
+
+
+def updates_experiment(
+    folders: int = 16, output: Optional[str] = "BENCH_updates.json"
+) -> Dict[str, object]:
+    """Live update costs: dirtied-chunk ratio, re-encrypted bytes, latency.
+
+    Publishes the hospital document into a :class:`SecureStation` and
+    applies one edit of each kind through the live
+    :meth:`~repro.engine.station.SecureStation.update` path, measuring
+    what fraction of the store each edit really re-encrypts.  Best-case
+    edits (a same-length text change) touch a couple of chunks; a
+    rename introducing a fresh tag grows the dictionary — the paper's
+    worst case — and cascades into a full re-encryption.  The report
+    lands in ``BENCH_updates.json``.
+    """
+    import json as _json
+    import time as _time
+
+    from repro.datasets.hospital import HospitalConfig, generate_hospital
+    from repro.engine import SecureStation
+    from repro.skipindex.updates import UpdateOp
+    from repro.xmlkit.parser import parse_document
+
+    from repro.xmlkit.serializer import serialize
+
+    config = HospitalConfig(
+        folders=folders,
+        doctors=4,
+        acts_per_folder=3,
+        labresults_per_folder=2,
+        seed=7,
+    )
+    tree = generate_hospital(config)
+
+    # Edits early in the document shift every byte after them (the
+    # whole tail re-encrypts); the interesting best-case numbers come
+    # from edits that keep lengths stable or sit near the end.  Each op
+    # runs against a fresh publication of the same document so the rows
+    # are directly comparable.
+    text_path, text = _first_text_path(tree)
+    children = list(tree.element_children())
+    last = len(children) - 1
+    tail_path, tail_text = _first_text_path(children[last])
+    ops = [
+        ("text/same-length", UpdateOp.set_text(text_path, "#" * len(text))),
+        (
+            "insert/append",
+            UpdateOp.insert([], parse_document(serialize(children[0]).strip())),
+        ),
+        ("delete/last", UpdateOp.delete([last])),
+        (
+            "text/grow-tail",
+            UpdateOp.set_text([last] + tail_path, "x" * (len(tail_text) + 40)),
+        ),
+        ("rename/new-tag", UpdateOp.rename([0], "RenamedFolder")),
+    ]
+    rows = []
+    records = []
+    for label, op in ops:
+        station = SecureStation()
+        station.publish("hospital", tree)
+        started = _time.perf_counter()
+        result = station.update("hospital", op)
+        latency_ms = (_time.perf_counter() - started) * 1000.0
+        record = result.as_dict()
+        record["op"] = label
+        record["latency_ms"] = round(latency_ms, 2)
+        records.append(record)
+        rows.append(
+            (
+                label,
+                result.impact.changed_bytes,
+                result.chunks_reencrypted,
+                result.total_chunks,
+                "%.1f%%" % (100.0 * result.dirtied_ratio),
+                human_bytes(result.reencrypted_bytes),
+                "yes" if result.impact.is_worst_case else "no",
+                round(latency_ms, 1),
+            )
+        )
+    # One station takes an edit chain, exercising the version counter
+    # end-to-end (every op bumps it by one).  grow-tail is excluded:
+    # its path is only valid against the pristine tree.
+    chained = SecureStation()
+    chained.publish("hospital", tree)
+    for label, op in ops:
+        if label == "text/grow-tail":
+            continue
+        chained.update("hospital", op)
+    report = {
+        "bench": "updates",
+        "document": "hospital",
+        "folders": folders,
+        "chained_version": chained.document_version("hospital"),
+        "ops": records,
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return {
+        "headers": [
+            "Op",
+            "Changed bytes",
+            "Re-encrypted",
+            "Total chunks",
+            "Dirtied",
+            "Rewritten",
+            "Worst case",
+            "Latency (ms)",
+        ],
+        "rows": rows,
+        "report": report,
+    }
+
+
 def render(experiment: Dict[str, object], title: str, fmt: str = "table") -> str:
     return format_output(
         experiment["rows"], experiment["headers"], fmt=fmt, title=title

@@ -6,9 +6,10 @@ Exposes the pipeline end to end::
     python -m repro encode   doc.xml doc.xskp
     python -m repro protect  doc.xml doc.store --scheme ECB-MHT --key 00112233445566778899aabbccddeeff
     python -m repro view     doc.store --key 001122... --rule "+://book" --rule "-://internal" [--query "//book[price < 20]"]
-    python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12 server]
+    python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12 server updates]
     python -m repro serve    --port 8471 [--hospital 3 | --store doc.store --key ... --rule ... --subject bob]
     python -m repro remote-view 127.0.0.1:8471 hospital --subject secretary [--query ...]
+    python -m repro update   127.0.0.1:8471 hospital --subject secretary --kind update-text --path 0,1 --text "new value"
     python -m repro loadgen  127.0.0.1:8471 --clients 8 --queries 5
 
 The protected store is a self-describing file: one JSON header line
@@ -251,6 +252,7 @@ def cmd_serve(args) -> int:
         chunk_size=args.chunk_size,
         queue_depth=args.queue_depth,
         seal=args.seal,
+        allow_updates=not args.readonly,
     )
 
     async def amain() -> None:
@@ -298,6 +300,61 @@ def cmd_remote_view(args) -> int:
             )
         if args.stats:
             print(json.dumps(session.stats(), indent=2), file=sys.stderr)
+    return 0
+
+
+def _parse_index_path(text: str) -> List[int]:
+    if not text:
+        return []
+    try:
+        return [int(part) for part in text.split(",")]
+    except ValueError:
+        raise SystemExit("--path must be comma-separated indexes, e.g. '0,2'")
+
+
+def cmd_update(args) -> int:
+    """Apply one live edit to a document on a running station server."""
+    from repro.server.client import RemoteError, RemoteSession
+    from repro.server.loadgen import parse_address
+    from repro.skipindex.updates import UpdateError, UpdateOp
+    from repro.xmlkit.parser import parse_document
+
+    node = None
+    if args.xml:
+        node = parse_document(args.xml)
+    try:
+        op = UpdateOp(
+            args.kind.replace("-", "_"),
+            _parse_index_path(args.path or ""),
+            text=args.text,
+            tag=args.tag,
+            node=node,
+            position=args.at,
+        )
+    except UpdateError as exc:
+        raise SystemExit("bad update: %s" % exc)
+    host, port = parse_address(args.address)
+    with RemoteSession(
+        host, port, args.subject or "", connect_retry=args.connect_retry
+    ) as session:
+        try:
+            trailer = session.update(args.document, op)
+        except RemoteError as exc:
+            raise SystemExit("server refused the update -- %s" % exc)
+    summary = trailer.get("update", {})
+    print(
+        "updated %r to version %s: re-encrypted %s/%s chunks (%.1f%%%s), "
+        "%s bytes"
+        % (
+            args.document,
+            trailer.get("version"),
+            summary.get("chunks_reencrypted"),
+            summary.get("total_chunks"),
+            100.0 * float(summary.get("dirtied_ratio", 0.0)),
+            ", worst case" if summary.get("worst_case") else "",
+            summary.get("reencrypted_bytes"),
+        )
+    )
     return 0
 
 
@@ -406,6 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="seal every chunk under the session link key",
     )
+    p_serve.add_argument(
+        "--readonly",
+        action="store_true",
+        help="refuse UPDATE frames (documents stay immutable)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_remote = sub.add_parser(
@@ -423,6 +485,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_remote.add_argument("--connect-retry", type=float, default=5.0)
     p_remote.set_defaults(func=cmd_remote_view)
+
+    p_update = sub.add_parser(
+        "update", help="apply a live edit to a served document"
+    )
+    p_update.add_argument("address", help="HOST:PORT")
+    p_update.add_argument("document", help="document id (e.g. 'hospital')")
+    p_update.add_argument(
+        "--kind",
+        required=True,
+        choices=["insert-element", "delete-element", "update-text", "rename-element"],
+    )
+    p_update.add_argument(
+        "--path",
+        help="comma-separated element-child indexes from the root "
+        "(empty = the root itself)",
+    )
+    p_update.add_argument("--text", help="replacement text for update-text")
+    p_update.add_argument("--tag", help="new tag for rename-element")
+    p_update.add_argument("--xml", help="new element XML for insert-element")
+    p_update.add_argument(
+        "--at", type=int, help="insert position among element children"
+    )
+    p_update.add_argument("--subject", help="subject to connect as")
+    p_update.add_argument("--connect-retry", type=float, default=5.0)
+    p_update.set_defaults(func=cmd_update)
 
     p_load = sub.add_parser(
         "loadgen", help="drive N clients x M queries; writes BENCH_server.json"

@@ -39,6 +39,7 @@ from repro.crypto.modes import (
     encrypt_cbc,
     encrypt_positioned,
     make_iv,
+    versioned_position,
 )
 from repro.crypto.xtea import Xtea
 from repro.metrics import Meter
@@ -49,18 +50,40 @@ class IntegrityError(Exception):
 
 
 class SecureDocument:
-    """What the terminal stores: chunk records (digest + payload)."""
+    """One protected document: chunk records (digest + payload).
+
+    ``stored`` is what the untrusted terminal holds and may tamper
+    with.  ``version`` / ``chunk_versions`` are *trusted* metadata that
+    travel with the document key over the secure channel (Section 2):
+    the document-level update counter and, per chunk, the version it
+    was last (re-)encrypted under.  Both feed the position/MAC
+    derivation, so a chunk record captured before an update no longer
+    verifies once the chunk has been re-encrypted — the cross-version
+    replay the original scheme could not detect.
+    """
 
     def __init__(
         self,
         scheme: "BaseScheme",
         stored: bytes,
         plaintext_size: int,
+        version: int = 0,
+        chunk_versions: Optional[List[int]] = None,
     ):
         self.scheme = scheme
         self.stored = bytearray(stored)  # mutable so tests can tamper
         self.plaintext_size = plaintext_size
         self.layout = scheme.layout
+        self.version = version
+        if chunk_versions is None:
+            chunk_versions = [version] * self.layout.chunk_count(plaintext_size)
+        self.chunk_versions = list(chunk_versions)
+
+    def chunk_version(self, chunk_index: int) -> int:
+        """Version chunk ``chunk_index`` was last encrypted under."""
+        if 0 <= chunk_index < len(self.chunk_versions):
+            return self.chunk_versions[chunk_index]
+        return self.version
 
     def stored_size(self) -> int:
         return len(self.stored)
@@ -99,39 +122,94 @@ class BaseScheme:
             raise ValueError("cipher block size does not match the layout")
 
     # -- scheme-specific hooks -----------------------------------------
-    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int, version: int = 0) -> bytes:
         raise NotImplementedError
 
     def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
         raise NotImplementedError
 
     # -- digest encryption (shared) ------------------------------------
-    def _encrypt_digest(self, digest: bytes, chunk_index: int) -> bytes:
+    def _encrypt_digest(self, digest: bytes, chunk_index: int, version: int = 0) -> bytes:
         padded = digest + b"\x00" * (self.layout.digest_size - len(digest))
         # A distinct position space (high bit set) keeps digest blocks
-        # unlinkable to payload blocks.
-        position = (1 << 62) + chunk_index * self.layout.digest_size
+        # unlinkable to payload blocks; the version folds in below it,
+        # binding each digest record to the update that produced it.
+        position = versioned_position(
+            (1 << 62) + chunk_index * self.layout.digest_size, version
+        )
         return encrypt_positioned(self.cipher, padded, position)
 
-    def _decrypt_digest(self, encrypted: bytes, chunk_index: int) -> bytes:
-        position = (1 << 62) + chunk_index * self.layout.digest_size
+    def _decrypt_digest(self, encrypted: bytes, chunk_index: int, version: int = 0) -> bytes:
+        position = versioned_position(
+            (1 << 62) + chunk_index * self.layout.digest_size, version
+        )
         return decrypt_positioned(self.cipher, encrypted, position)[:HASH_SIZE]
 
     # -- public API -------------------------------------------------------
-    def protect(self, plaintext: bytes) -> SecureDocument:
+    def protect(self, plaintext: bytes, version: int = 0) -> SecureDocument:
         """Encrypt (and digest) ``plaintext`` for storage at the terminal."""
         layout = self.layout
         stored = bytearray()
         count = layout.chunk_count(len(plaintext))
         for chunk_index in range(count):
-            start, end = layout.chunk_range(chunk_index, len(plaintext))
-            chunk = layout.pad_chunk(plaintext[start:end])
-            cipher_chunk = self._encrypt_chunk(chunk, chunk_index)
-            if self.has_digest:
-                digest = self._chunk_digest(chunk, cipher_chunk)
-                stored.extend(self._encrypt_digest(digest, chunk_index))
-            stored.extend(cipher_chunk)
-        return SecureDocument(self, bytes(stored), len(plaintext))
+            stored.extend(self._chunk_record(plaintext, chunk_index, version))
+        return SecureDocument(self, bytes(stored), len(plaintext), version=version)
+
+    def _chunk_record(self, plaintext: bytes, chunk_index: int, version: int) -> bytes:
+        """One stored chunk record ([digest header +] encrypted payload)."""
+        layout = self.layout
+        start, end = layout.chunk_range(chunk_index, len(plaintext))
+        chunk = layout.pad_chunk(plaintext[start:end])
+        cipher_chunk = self._encrypt_chunk(chunk, chunk_index, version)
+        if not self.has_digest:
+            return cipher_chunk
+        digest = self._chunk_digest(chunk, cipher_chunk)
+        return self._encrypt_digest(digest, chunk_index, version) + cipher_chunk
+
+    def reencrypt(
+        self,
+        document: SecureDocument,
+        new_plaintext: bytes,
+        dirty_chunks: Set[int],
+        version: int,
+    ) -> Tuple[SecureDocument, int]:
+        """Copy-on-write update: rebuild only the dirty chunk records.
+
+        Returns ``(new document, chunks re-encrypted)``.  The input
+        ``document`` is left byte-for-byte untouched, so in-flight
+        readers holding it finish against a consistent pre-update
+        snapshot.  Dirty chunks (plus any chunk the new plaintext adds
+        beyond the old chunk count) are re-encrypted under ``version``;
+        clean chunk records are shared as-is and keep their recorded
+        versions, so the whole store stays verifiable chunk by chunk.
+        The caller is responsible for ``dirty_chunks`` covering every
+        byte range that actually changed.
+        """
+        layout = self.layout
+        record = (layout.digest_size if self.has_digest else 0) + layout.chunk_size
+        old_count = layout.chunk_count(document.plaintext_size)
+        new_count = layout.chunk_count(len(new_plaintext))
+        keep = min(old_count, new_count)
+        stored = bytearray(document.stored[: keep * record])
+        stored.extend(b"\x00" * ((new_count - keep) * record))
+        versions = list(document.chunk_versions[:keep])
+        versions.extend([version] * (new_count - keep))
+        dirty = {index for index in dirty_chunks if 0 <= index < new_count}
+        dirty.update(range(keep, new_count))
+        for chunk_index in sorted(dirty):
+            start = chunk_index * record
+            stored[start : start + record] = self._chunk_record(
+                new_plaintext, chunk_index, version
+            )
+            versions[chunk_index] = version
+        updated = SecureDocument(
+            self,
+            bytes(stored),
+            len(new_plaintext),
+            version=version,
+            chunk_versions=versions,
+        )
+        return updated, len(dirty)
 
     def _chunk_digest(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
         return sha1(self._digest_input(plaintext_chunk, cipher_chunk))
@@ -221,9 +299,11 @@ class EcbScheme(BaseScheme):
     name = "ECB"
     has_digest = False
 
-    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int, version: int = 0) -> bytes:
         return encrypt_positioned(
-            self.cipher, chunk, chunk_index * self.layout.chunk_size
+            self.cipher,
+            chunk,
+            versioned_position(chunk_index * self.layout.chunk_size, version),
         )
 
     def reader(self, document: SecureDocument, meter: Optional[Meter] = None):
@@ -240,7 +320,10 @@ class _EcbReader(BaseReader):
         _digest, payload = self.document.chunk_record(chunk_index)
         first = lo // block
         last = (hi - 1) // block
-        base = chunk_index * layout.chunk_size
+        base = versioned_position(
+            chunk_index * layout.chunk_size,
+            self.document.chunk_version(chunk_index),
+        )
         for index in range(first, last + 1):
             if index in self.cache.have_blocks:
                 continue
@@ -264,8 +347,10 @@ class CbcShaScheme(BaseScheme):
 
     name = "CBC-SHA"
 
-    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
-        return encrypt_cbc(self.cipher, chunk, make_iv(chunk_index))
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int, version: int = 0) -> bytes:
+        return encrypt_cbc(
+            self.cipher, chunk, make_iv(versioned_position(chunk_index, version))
+        )
 
     def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
         return plaintext_chunk
@@ -277,12 +362,17 @@ class CbcShaScheme(BaseScheme):
 class _CbcShaReader(BaseReader):
     def _prepare_chunk(self, chunk_index: int) -> None:
         layout = self.layout
+        version = self.document.chunk_version(chunk_index)
         encrypted_digest, payload = self.document.chunk_record(chunk_index)
         self.meter.bytes_transferred += layout.digest_size + layout.chunk_size
-        plain = decrypt_cbc(self.scheme.cipher, payload, make_iv(chunk_index))
+        plain = decrypt_cbc(
+            self.scheme.cipher,
+            payload,
+            make_iv(versioned_position(chunk_index, version)),
+        )
         self.meter.bytes_decrypted += layout.chunk_size
         self.meter.bytes_hashed += layout.chunk_size
-        digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index)
+        digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index, version)
         self.meter.bytes_decrypted += layout.digest_size
         self.meter.digest_decrypts += 1
         if sha1(plain) != digest:
@@ -303,8 +393,10 @@ class CbcShacScheme(BaseScheme):
 
     name = "CBC-SHAC"
 
-    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
-        return encrypt_cbc(self.cipher, chunk, make_iv(chunk_index))
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int, version: int = 0) -> bytes:
+        return encrypt_cbc(
+            self.cipher, chunk, make_iv(versioned_position(chunk_index, version))
+        )
 
     def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
         return cipher_chunk
@@ -316,10 +408,11 @@ class CbcShacScheme(BaseScheme):
 class _CbcShacReader(BaseReader):
     def _prepare_chunk(self, chunk_index: int) -> None:
         layout = self.layout
+        version = self.document.chunk_version(chunk_index)
         encrypted_digest, payload = self.document.chunk_record(chunk_index)
         self.meter.bytes_transferred += layout.digest_size + layout.chunk_size
         self.meter.bytes_hashed += layout.chunk_size
-        digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index)
+        digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index, version)
         self.meter.bytes_decrypted += layout.digest_size
         self.meter.digest_decrypts += 1
         if sha1(payload) != digest:
@@ -338,7 +431,11 @@ class _CbcShacReader(BaseReader):
             if index in self.cache.have_blocks:
                 continue
             previous = (
-                make_iv(chunk_index)
+                make_iv(
+                    versioned_position(
+                        chunk_index, self.document.chunk_version(chunk_index)
+                    )
+                )
                 if index == 0
                 else payload[(index - 1) * block : index * block]
             )
@@ -360,9 +457,11 @@ class EcbMhtScheme(BaseScheme):
 
     name = "ECB-MHT"
 
-    def _encrypt_chunk(self, chunk: bytes, chunk_index: int) -> bytes:
+    def _encrypt_chunk(self, chunk: bytes, chunk_index: int, version: int = 0) -> bytes:
         return encrypt_positioned(
-            self.cipher, chunk, chunk_index * self.layout.chunk_size
+            self.cipher,
+            chunk,
+            versioned_position(chunk_index * self.layout.chunk_size, version),
         )
 
     def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
@@ -395,7 +494,9 @@ class _EcbMhtReader(BaseReader):
         layout = self.layout
         encrypted_digest, _payload = self.document.chunk_record(chunk_index)
         self.meter.bytes_transferred += layout.digest_size
-        self.cache.digest = self.scheme._decrypt_digest(encrypted_digest, chunk_index)
+        self.cache.digest = self.scheme._decrypt_digest(
+            encrypted_digest, chunk_index, self.document.chunk_version(chunk_index)
+        )
         self.meter.bytes_decrypted += layout.digest_size
         self.meter.digest_decrypts += 1
         self.cache.plain = bytearray(layout.chunk_size)
@@ -434,7 +535,10 @@ class _EcbMhtReader(BaseReader):
             self.cache.have_fragments.update(needed_fragments)
         # Decrypt only the blocks of the requested range.
         block = layout.block_size
-        base = chunk_index * layout.chunk_size
+        base = versioned_position(
+            chunk_index * layout.chunk_size,
+            self.document.chunk_version(chunk_index),
+        )
         first = lo // block
         last = (hi - 1) // block
         for index in range(first, last + 1):

@@ -117,6 +117,29 @@ def make_iv(index: int, block_size: int = 8) -> bytes:
 # ----------------------------------------------------------------------
 # Position-XOR ECB (the paper's scheme)
 # ----------------------------------------------------------------------
+#: Byte positions live below this bit; document versions above it (and
+#: below bit 62, the digest position space of repro.crypto.integrity).
+VERSION_SHIFT = 40
+
+
+def versioned_position(position: int, version: int) -> int:
+    """Fold a document version into the position space.
+
+    The paper binds each block to its *location*; a live update path
+    must also bind it to *time*, or a terminal can splice back a chunk
+    captured before the update and it would still decrypt and verify.
+    Folding the version counter into the high bits of the position
+    makes every re-encryption a fresh position space: a stale-version
+    chunk decrypts to garbage and its digest no longer matches.
+    Version 0 is the identity, so pre-update stores are unchanged.
+    """
+    if version < 0:
+        raise ValueError("document version must be >= 0")
+    if version:
+        return position + (version << VERSION_SHIFT)
+    return position
+
+
 def _position_mask(position: int) -> bytes:
     return struct.pack(">Q", position & 0xFFFFFFFFFFFFFFFF)
 

@@ -47,6 +47,7 @@ from repro.engine.station import (
     StationSession,
     StationStats,
     SubjectFailure,
+    UpdateResult,
     ViewStream,
     open_sealed,
     seal_payload,
@@ -79,6 +80,7 @@ __all__ = [
     "StationError",
     "BatchResult",
     "SubjectFailure",
+    "UpdateResult",
     "ViewStream",
     "seal_payload",
     "open_sealed",

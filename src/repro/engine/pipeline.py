@@ -127,7 +127,13 @@ class EncodeStage(Stage):
 
 
 class EncryptStage(Stage):
-    """Encoded bytes -> encrypted/digested store for the terminal."""
+    """Encoded bytes -> encrypted/digested store for the terminal.
+
+    ``version`` is the document update counter bound into every chunk's
+    position/MAC derivation (see :mod:`repro.crypto.modes`); fresh
+    publications start at 0 and :meth:`SecureStation.update` bumps it
+    per re-encryption.
+    """
 
     name = "encrypt"
 
@@ -136,15 +142,17 @@ class EncryptStage(Stage):
         scheme: str = "ECB-MHT",
         key: bytes = b"\x00" * 16,
         layout: Optional[ChunkLayout] = None,
+        version: int = 0,
     ):
         self.scheme = scheme
         self.key = key
         self.layout = layout
+        self.version = version
 
     def run(self, ctx: PipelineContext) -> None:
         encoded = ctx.require("encoded", self.name)
         scheme = make_scheme(self.scheme, key=self.key, layout=self.layout)
-        secure = scheme.protect(encoded.data)
+        secure = scheme.protect(encoded.data, version=self.version)
         ctx.prepared = PreparedDocument(encoded, scheme, secure)
 
 
@@ -304,10 +312,11 @@ class DocumentPipeline:
         key: bytes = b"\x00" * 16,
         layout: Optional[ChunkLayout] = None,
         context: Union[str, PlatformContext] = "smartcard",
+        version: int = 0,
     ) -> "DocumentPipeline":
         """parse -> encode -> encrypt (the publisher of Fig. 2)."""
         return cls(
-            [ParseStage(), EncodeStage(), EncryptStage(scheme, key, layout)],
+            [ParseStage(), EncodeStage(), EncryptStage(scheme, key, layout, version)],
             context=context,
         )
 

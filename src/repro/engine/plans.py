@@ -23,6 +23,7 @@ single plan can safely back many concurrent sessions.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
@@ -103,7 +104,15 @@ class PolicyPlan:
         :func:`policy_digest` of the policy; plan caches key on it.
     """
 
-    __slots__ = ("policy", "rules", "automata", "label_sets", "digest", "_queries")
+    __slots__ = (
+        "policy",
+        "rules",
+        "automata",
+        "label_sets",
+        "digest",
+        "_queries",
+        "_queries_lock",
+    )
 
     def __init__(
         self,
@@ -119,6 +128,10 @@ class PolicyPlan:
         )
         self.digest = policy_digest(policy)
         self._queries: "OrderedDict[str, QueryPlan]" = OrderedDict()
+        # One plan backs many concurrent sessions (the station shares
+        # plans across server executor threads); the memo is the only
+        # mutable part, so it gets its own lock.
+        self._queries_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -145,18 +158,23 @@ class PolicyPlan:
         if isinstance(query, QueryPlan):
             return query
         key = query if isinstance(query, str) else str(query)
-        plan = self._queries.get(key)
-        if plan is not None:
-            self._queries.move_to_end(key)
-            return plan
+        with self._queries_lock:
+            plan = self._queries.get(key)
+            if plan is not None:
+                self._queries.move_to_end(key)
+                return plan
+        # Compile outside the lock; concurrent compiles of the same
+        # query are harmless (last insert wins).
         plan = compile_query(query, self.policy.subject)
-        self._queries[key] = plan
-        while len(self._queries) > self.QUERY_CACHE_SIZE:
-            self._queries.popitem(last=False)
+        with self._queries_lock:
+            self._queries[key] = plan
+            while len(self._queries) > self.QUERY_CACHE_SIZE:
+                self._queries.popitem(last=False)
         return plan
 
     def cached_queries(self) -> int:
-        return len(self._queries)
+        with self._queries_lock:
+            return len(self._queries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "PolicyPlan(%s, %d rules, %s)" % (

@@ -26,19 +26,22 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.accesscontrol.model import Policy
 from repro.accesscontrol.navigation import EventListNavigator
+from repro.crypto.chunks import ChunkLayout
 from repro.crypto.integrity import SecureBytes
 from repro.crypto.modes import decrypt_positioned, encrypt_positioned, pad_to_block
 from repro.crypto.xtea import Xtea
 from repro.engine.pipeline import DocumentPipeline
 from repro.engine.plans import PolicyPlan, compile_policy, policy_digest
 from repro.metrics import Meter
-from repro.skipindex.decoder import SkipIndexNavigator
+from repro.skipindex.decoder import SkipIndexNavigator, decode_document
+from repro.skipindex.updates import UpdateImpact, UpdateOp, impact_between, reencode_after
 from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext
 from repro.soe.session import PreparedDocument, SessionResult, delivered_bytes
 from repro.xmlkit.dom import Node
@@ -91,9 +94,12 @@ class StationStats:
         "plan_evictions",
         "sessions_opened",
         "requests",
+        "failed_requests",
         "batches",
         "batch_subjects",
         "batch_failures",
+        "updates",
+        "chunks_reencrypted",
     )
 
     def __init__(self):
@@ -224,16 +230,27 @@ class SubjectFailure:
     whole multi-client response, so :meth:`SecureStation.evaluate_many`
     records the failure in place of that subject's
     :class:`SessionResult` and keeps serving the rest.
+
+    ``meter`` carries whatever partial work the subject's evaluation
+    did before it died (empty for failures that never started, like a
+    missing grant).  It is accounted *here*, separately — never folded
+    into the batch's shared meter, the successful subjects' meters or
+    the station's served totals — so a mid-evaluation crash cannot
+    inflate the served chunk/byte counts with work that produced no
+    view.
     """
 
-    __slots__ = ("subject", "kind", "message")
+    __slots__ = ("subject", "kind", "message", "meter")
 
     ok = False
 
-    def __init__(self, subject: str, kind: str, message: str):
+    def __init__(
+        self, subject: str, kind: str, message: str, meter: Optional[Meter] = None
+    ):
         self.subject = subject
         self.kind = kind
         self.message = message
+        self.meter = meter if meter is not None else Meter()
 
     def as_dict(self) -> Dict[str, str]:
         return {"subject": self.subject, "kind": self.kind, "message": self.message}
@@ -291,15 +308,97 @@ class BatchResult:
 
     @property
     def seconds(self) -> float:
-        """Simulated wall time of the whole batch on the platform."""
+        """Simulated wall time of the whole batch on the platform.
+
+        Counts the shared pass plus the *successful* subjects only;
+        partial work of failed subjects lives in
+        :attr:`SubjectFailure.meter` (see :meth:`failure_meter`).
+        """
         merged = Meter.merged(
             [self.shared_meter]
             + [result.meter for result in self.ok.values()]
         )
         return CostModel(self.context).breakdown(merged).total
 
+    def failure_meter(self) -> Meter:
+        """Partial work of every failed subject, merged (separate
+        accounting: never part of :attr:`seconds`)."""
+        return Meter.merged(entry.meter for entry in self.failures.values())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "BatchResult(%d subjects, %.3fs)" % (len(self), self.seconds)
+
+
+class UpdateResult:
+    """Outcome of one :meth:`SecureStation.update`.
+
+    ``chunks_reencrypted`` is what the terminal actually rewrote (the
+    dirty set, or every chunk on a worst-case cascade);
+    ``dirty_chunks`` names them so tests and the replay defence can
+    target exactly the records that changed.
+    """
+
+    __slots__ = (
+        "document_id",
+        "version",
+        "impact",
+        "dirty_chunks",
+        "chunks_reencrypted",
+        "total_chunks",
+        "reencrypted_bytes",
+        "full_reencrypt",
+    )
+
+    def __init__(
+        self,
+        document_id: str,
+        version: int,
+        impact: UpdateImpact,
+        dirty_chunks: Set[int],
+        chunks_reencrypted: int,
+        total_chunks: int,
+        reencrypted_bytes: int,
+        full_reencrypt: bool,
+    ):
+        self.document_id = document_id
+        self.version = version
+        self.impact = impact
+        self.dirty_chunks = set(dirty_chunks)
+        self.chunks_reencrypted = chunks_reencrypted
+        self.total_chunks = total_chunks
+        self.reencrypted_bytes = reencrypted_bytes
+        self.full_reencrypt = full_reencrypt
+
+    @property
+    def dirtied_ratio(self) -> float:
+        """Re-encrypted fraction of the store (0..1)."""
+        if not self.total_chunks:
+            return 0.0
+        return self.chunks_reencrypted / self.total_chunks
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "document": self.document_id,
+            "version": self.version,
+            "chunks_reencrypted": self.chunks_reencrypted,
+            "total_chunks": self.total_chunks,
+            "dirtied_ratio": round(self.dirtied_ratio, 4),
+            "reencrypted_bytes": self.reencrypted_bytes,
+            "changed_bytes": self.impact.changed_bytes,
+            "old_size": self.impact.old_size,
+            "new_size": self.impact.new_size,
+            "full_reencrypt": self.full_reencrypt,
+            "worst_case": self.impact.is_worst_case,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UpdateResult(%s v%d, %d/%d chunks%s)" % (
+            self.document_id,
+            self.version,
+            self.chunks_reencrypted,
+            self.total_chunks,
+            ", full" if self.full_reencrypt else "",
+        )
 
 
 class SecureStation:
@@ -336,6 +435,14 @@ class SecureStation:
         self._grants: Dict[Tuple[str, str], Policy] = {}
         self._plans: "OrderedDict[Tuple[str, str], PolicyPlan]" = OrderedDict()
         self._session_counter = 0
+        self._versions: Dict[str, int] = {}
+        self._listeners: List[Callable[[str, int], None]] = []
+        # One station serves many server executor threads concurrently:
+        # everything mutable (session counter, plan LRU, document map,
+        # version table, stats) is guarded here.  Evaluation itself
+        # runs outside the lock — published documents are immutable
+        # snapshots (updates swap in a new one copy-on-write).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Key derivation
@@ -355,49 +462,99 @@ class SecureStation:
         document: Union[str, Node, PreparedDocument],
         scheme: str = "ECB-MHT",
         key: Optional[bytes] = None,
+        layout: Optional[ChunkLayout] = None,
     ) -> PreparedDocument:
         """Register a document: parse/encode/encrypt it (publisher
-        pipeline) unless an already-:class:`PreparedDocument` is given."""
+        pipeline) unless an already-:class:`PreparedDocument` is given.
+
+        Re-publishing an existing id continues its version chain: the
+        new store is encrypted one version above anything this station
+        ever served under the (deterministic) document key, so chunk
+        records captured from *any* earlier generation fail
+        verification when spliced into the new one, and subscribers
+        get an invalidation.  A caller handing in an external
+        :class:`PreparedDocument` controls its own encryption version;
+        replay protection across generations then holds only if it was
+        protected above the prior version (the station still bumps its
+        version counter monotonically either way).
+        """
         if key is None:
             key = self._derive_key("document|%s" % document_id)
+        with self._lock:
+            prior = self._versions.get(document_id)
+        next_version = 0 if prior is None else prior + 1
         if isinstance(document, PreparedDocument):
             prepared = document
         else:
             pipeline = DocumentPipeline.publisher(
-                scheme=scheme, key=key, context=self.platform
+                scheme=scheme,
+                key=key,
+                layout=layout,
+                context=self.platform,
+                version=next_version,
             )
             if isinstance(document, Node):
                 ctx = pipeline.run(tree=document)
             else:
                 ctx = pipeline.run(source=document)
             prepared = ctx.prepared
-        self._documents[document_id] = (prepared, key)
+        with self._lock:
+            self._documents[document_id] = (prepared, key)
+            version = max(prepared.secure.version, next_version)
+            self._versions[document_id] = version
+            listeners = list(self._listeners) if prior is not None else []
+        for listener in listeners:
+            listener(document_id, version)
         return prepared
 
     def document(self, document_id: str) -> PreparedDocument:
-        try:
-            return self._documents[document_id][0]
-        except KeyError:
-            raise StationError("unknown document %r" % document_id)
+        return self._snapshot(document_id)[0]
+
+    def _snapshot(self, document_id: str) -> Tuple[PreparedDocument, bytes, int]:
+        """One atomic read of ``(prepared, key, version)`` — the
+        snapshot a request evaluates and the version it reports must
+        come from the same locked read."""
+        with self._lock:
+            try:
+                prepared, key = self._documents[document_id]
+            except KeyError:
+                raise StationError("unknown document %r" % document_id)
+            return prepared, key, self._versions.get(document_id, 0)
+
+    def document_version(self, document_id: str) -> int:
+        """Current update version of a published document (0 initially)."""
+        with self._lock:
+            if document_id not in self._documents:
+                raise StationError("unknown document %r" % document_id)
+            return self._versions.get(document_id, 0)
 
     def grant(self, document_id: str, policy: Policy, subject: Optional[str] = None) -> None:
         """Attach ``policy`` to ``(document, subject)``; the subject
         defaults to the policy's own."""
-        if document_id not in self._documents:
-            raise StationError("unknown document %r" % document_id)
-        subject = policy.subject if subject is None else subject
-        self._grants[(document_id, subject)] = policy
+        with self._lock:
+            if document_id not in self._documents:
+                raise StationError("unknown document %r" % document_id)
+            subject = policy.subject if subject is None else subject
+            self._grants[(document_id, subject)] = policy
 
     def revoke(self, document_id: str, subject: str) -> None:
-        self._grants.pop((document_id, subject), None)
+        with self._lock:
+            self._grants.pop((document_id, subject), None)
+
+    def has_grant(self, document_id: str, subject: str) -> bool:
+        """Does ``subject`` hold a grant on ``document_id``?  (The
+        server's authorization check for remote UPDATE frames.)"""
+        with self._lock:
+            return (document_id, subject) in self._grants
 
     def _policy_for(self, document_id: str, subject: str) -> Policy:
-        try:
-            return self._grants[(document_id, subject)]
-        except KeyError:
-            raise StationError(
-                "no grant for subject %r on document %r" % (subject, document_id)
-            )
+        with self._lock:
+            try:
+                return self._grants[(document_id, subject)]
+            except KeyError:
+                raise StationError(
+                    "no grant for subject %r on document %r" % (subject, document_id)
+                )
 
     # ------------------------------------------------------------------
     # Plan cache
@@ -407,29 +564,146 @@ class SecureStation:
         if isinstance(policy, PolicyPlan):
             return policy
         key = (policy.subject, policy_digest(policy))
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-            self.stats.plan_hits += 1
-            return plan
-        self.stats.plan_misses += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.stats.plan_hits += 1
+                return plan
+            self.stats.plan_misses += 1
+        # Compile outside the lock (it can take milliseconds); a racing
+        # thread may compile the same plan, the last insert wins.
         plan = compile_policy(policy)
-        self._plans[key] = plan
-        while len(self._plans) > self.plan_cache_size:
-            self._plans.popitem(last=False)
-            self.stats.plan_evictions += 1
+        with self._lock:
+            self._plans[key] = plan
+            while len(self._plans) > self.plan_cache_size:
+                self._plans.popitem(last=False)
+                self.stats.plan_evictions += 1
         return plan
 
     def cached_plans(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
+
+    # ------------------------------------------------------------------
+    # Updates (the live path of Section 4.1)
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[str, int], None]) -> None:
+        """Register ``listener(document_id, new_version)``, called after
+        every successful :meth:`update` (outside the station lock)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[str, int], None]) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def update(self, document_id: str, op: UpdateOp) -> UpdateResult:
+        """Apply one edit to a published document, live.
+
+        The pipeline is the paper's update discipline end-to-end:
+        decode the current tree, apply the edit, re-encode reusing the
+        tag dictionary, diff against the old encoding and re-encrypt
+        **only the dirtied chunks** under a bumped document version —
+        unless the edit hits the paper's worst case (dictionary growth
+        or a size-field width jump), which cascades into a full
+        re-encryption.  The swap is copy-on-write: in-flight readers
+        finish against the old immutable snapshot; the new version is
+        bound into every rewritten chunk so replaying a pre-update
+        record raises :class:`~repro.crypto.integrity.IntegrityError`.
+        Cached plans of subjects granted on the document are dropped,
+        and every subscriber is notified of the new version.
+
+        The heavy pipeline (decode, re-encode, diff, re-encrypt) runs
+        *outside* the station lock against the immutable snapshot, so
+        queries keep flowing during an update; the swap itself is an
+        optimistic compare-and-swap that retries if a concurrent update
+        won the race — versions always form a linear chain.
+        """
+        while True:
+            prepared, key, base_version = self._snapshot(document_id)
+            old_encoded = prepared.encoded
+            if not old_encoded.data:
+                raise StationError(
+                    "document %r has no plaintext encoding to update"
+                    % document_id
+                )
+            old_tree = decode_document(old_encoded)
+            new_tree = op.apply(old_tree)
+            new_encoded, dictionary_grew = reencode_after(old_encoded, new_tree)
+            layout = prepared.scheme.layout
+            impact = impact_between(
+                old_encoded,
+                new_encoded,
+                old_tree,
+                new_tree,
+                layout=layout,
+                dictionary_grew=dictionary_grew,
+            )
+            version = base_version + 1
+            total_chunks = layout.chunk_count(len(new_encoded.data))
+            full = impact.is_worst_case
+            if full:
+                dirty = set(range(total_chunks))
+            else:
+                dirty = set()
+                for start, end in impact.changed_ranges:
+                    dirty.update(layout.chunks_covering(start, end - start))
+            new_secure, reencrypted = prepared.scheme.reencrypt(
+                prepared.secure, new_encoded.data, dirty, version
+            )
+            with self._lock:
+                current = self._documents.get(document_id)
+                if current is None:
+                    raise StationError("unknown document %r" % document_id)
+                if current[0] is not prepared:
+                    continue  # a concurrent update won; redo on its result
+                self._documents[document_id] = (
+                    PreparedDocument(new_encoded, prepared.scheme, new_secure),
+                    key,
+                )
+                self._versions[document_id] = version
+                # Conservative cache coherence: drop compiled plans of
+                # every subject granted on the updated document, so
+                # nothing stale keyed off the old content survives the
+                # version bump.
+                subjects = {
+                    s for (doc, s) in self._grants if doc == document_id
+                }
+                for cache_key in [k for k in self._plans if k[0] in subjects]:
+                    del self._plans[cache_key]
+                self.stats.updates += 1
+                self.stats.chunks_reencrypted += reencrypted
+                listeners = list(self._listeners)
+            break
+        result = UpdateResult(
+            document_id=document_id,
+            version=version,
+            impact=impact,
+            dirty_chunks={index for index in dirty if index < total_chunks},
+            chunks_reencrypted=reencrypted,
+            total_chunks=total_chunks,
+            reencrypted_bytes=reencrypted * layout.stored_chunk_size()
+            if prepared.scheme.has_digest
+            else reencrypted * layout.chunk_size,
+            full_reencrypt=full,
+        )
+        for listener in listeners:
+            listener(document_id, version)
+        return result
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def connect(self, subject: str) -> StationSession:
-        self._session_counter += 1
-        self.stats.sessions_opened += 1
-        return StationSession(self, subject, self._session_counter)
+        with self._lock:
+            self._session_counter += 1
+            session_id = self._session_counter
+            self.stats.sessions_opened += 1
+        return StationSession(self, subject, session_id)
 
     def evaluate(
         self,
@@ -439,13 +713,14 @@ class SecureStation:
     ) -> SessionResult:
         """One request: the authorized view of one document for one
         subject (grant lookup) or explicit policy/plan."""
-        prepared = self.document(document_id)
+        prepared, _key, version = self._snapshot(document_id)
         if isinstance(subject_or_policy, str):
             policy = self._policy_for(document_id, subject_or_policy)
         else:
             policy = subject_or_policy
         plan = self.plan_for(policy)
-        self.stats.requests += 1
+        with self._lock:
+            self.stats.requests += 1
         pipeline = DocumentPipeline.consumer(
             plan,
             query=plan.query_plan(query),
@@ -453,7 +728,9 @@ class SecureStation:
             context=self.platform,
         )
         ctx = pipeline.run(prepared=prepared)
-        return SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.platform)
+        result = SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.platform)
+        result.document_version = version
+        return result
 
     def stream(
         self,
@@ -523,7 +800,8 @@ class SecureStation:
         for label, plan in plans:
             if isinstance(plan, SubjectFailure):
                 per_subject[label] = plan
-                self.stats.batch_failures += 1
+                with self._lock:
+                    self.stats.batch_failures += 1
                 continue
             meter = Meter()
             try:
@@ -538,16 +816,24 @@ class SecureStation:
                 )
                 view = evaluator.run(navigator)
             except Exception as exc:
-                per_subject[label] = SubjectFailure(label, "evaluate", str(exc))
-                self.stats.batch_failures += 1
+                # The partial meter travels with the failure — counted
+                # apart from every served total (see SubjectFailure).
+                per_subject[label] = SubjectFailure(
+                    label, "evaluate", str(exc), meter=meter
+                )
+                with self._lock:
+                    self.stats.batch_failures += 1
+                    self.stats.failed_requests += 1
                 continue
             meter.bytes_delivered += delivered_bytes(view)
             per_subject[label] = SessionResult(
                 view, meter, cost_model.breakdown(meter), self.platform
             )
-            self.stats.requests += 1
-        self.stats.batches += 1
-        self.stats.batch_subjects += len(plans)
+            with self._lock:
+                self.stats.requests += 1
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.batch_subjects += len(plans)
         return BatchResult(per_subject, shared_meter, self.platform)
 
     # ------------------------------------------------------------------

@@ -7,8 +7,9 @@ exercised that split in-process only.  This package puts a wire on the
 boundary:
 
 * :mod:`repro.server.protocol` — the length-prefixed binary frame
-  format (HELLO / WELCOME / QUERY / CHUNK / RESULT / ERROR / STATS),
-  with an incremental decoder shared by both ends;
+  format (HELLO / WELCOME / QUERY / CHUNK / RESULT / ERROR / STATS /
+  UPDATE / INVALIDATED), with an incremental decoder shared by both
+  ends;
 * :mod:`repro.server.service` — :class:`StationServer`, an asyncio TCP
   server wrapping a station: concurrent clients, executor-offloaded
   evaluation, bounded-queue chunk streaming, per-session limits and a

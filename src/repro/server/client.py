@@ -26,10 +26,12 @@ from repro.server.protocol import (
     CHUNK,
     ERROR,
     HELLO,
+    INVALIDATED,
     QUERY,
     RESULT,
     STATS,
     STATS_REQUEST,
+    UPDATE,
     WELCOME,
     Frame,
     FrameDecoder,
@@ -111,6 +113,14 @@ class RemoteSession:
     connect_retry:
         Keep retrying the initial TCP connect for this many seconds —
         lets clients race a server that is still binding (CI).
+    cache_views:
+        Keep each ``(document, query)`` view client-side and serve
+        repeats from the cache.  The server's INVALIDATED push (sent
+        after every live document update) drops the affected entries,
+        so the next :meth:`evaluate` re-fetches transparently — callers
+        never see stale data, they just see a cheaper round-trip while
+        the document is unchanged.  Off by default: benchmarks and the
+        load generator must measure real server work.
     """
 
     def __init__(
@@ -120,15 +130,24 @@ class RemoteSession:
         subject: str,
         timeout: float = 30.0,
         connect_retry: float = 0.0,
+        cache_views: bool = False,
     ):
         self.host = host
         self.port = port
         self.subject = subject
+        self._timeout = timeout
         self._sock = self._connect((host, port), timeout, connect_retry)
         self._sock.settimeout(timeout)
         self._decoder = FrameDecoder()
         self._pending: List[Frame] = []
         self._closed = False
+        self._cache_views = cache_views
+        self._cache: Dict[Tuple[str, Optional[str]], "RemoteResult"] = {}
+        #: Latest known version per document (RESULT trailers and
+        #: INVALIDATED pushes both feed it).
+        self.document_versions: Dict[str, int] = {}
+        #: Count of INVALIDATED pushes processed (observability/tests).
+        self.invalidations_seen = 0
 
         self._send(json_frame(HELLO, 0, {"subject": subject}))
         welcome = self._expect(WELCOME).json()
@@ -157,13 +176,28 @@ class RemoteSession:
                 time.sleep(0.05)
 
     # ------------------------------------------------------------------
-    def evaluate(self, document_id: str, query: Optional[str] = None) -> RemoteResult:
+    def evaluate(
+        self,
+        document_id: str,
+        query: Optional[str] = None,
+        fresh: bool = False,
+    ) -> RemoteResult:
         """The authorized view of ``document_id`` for this subject.
 
         Mirrors :meth:`SecureStation.evaluate` /
         :meth:`StationSession.view`; raises :class:`RemoteError` on a
-        structured server error.
+        structured server error.  With ``cache_views`` enabled an
+        unchanged document is served from the client cache (pending
+        INVALIDATED pushes are drained first, so a cached entry is
+        only served when no newer version has been announced);
+        ``fresh=True`` forces the round-trip.
         """
+        key = (document_id, query)
+        if self._cache_views and not fresh:
+            self.poll_notifications()
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
         self._send(
             json_frame(
                 QUERY,
@@ -180,7 +214,13 @@ class RemoteSession:
                     chunk = open_sealed(self.session_key, chunk)
                 parts.append(chunk)
             elif frame.type == RESULT:
-                return RemoteResult(b"".join(parts), frame.json())
+                result = RemoteResult(b"".join(parts), frame.json())
+                version = result.trailer.get("version")
+                if version is not None:
+                    self._note_version(document_id, int(version))
+                if self._cache_views and not self._is_stale(document_id, version):
+                    self._cache[key] = result
+                return result
             elif frame.type == ERROR:
                 raise self._error(frame)
             else:
@@ -190,6 +230,27 @@ class RemoteSession:
 
     #: Alias mirroring :meth:`StationSession.view`.
     view = evaluate
+
+    def update(self, document_id: str, op) -> Dict[str, Any]:
+        """Apply a live edit server-side (an UPDATE round-trip).
+
+        ``op`` is an :class:`~repro.skipindex.updates.UpdateOp` or its
+        ``as_dict()`` form.  Returns the server's RESULT trailer
+        (new version, chunks re-encrypted, dirtied ratio, ...).
+        """
+        body = op.as_dict() if hasattr(op, "as_dict") else dict(op)
+        self._send(
+            json_frame(
+                UPDATE,
+                self.session_id,
+                {"document": document_id, "op": body},
+            )
+        )
+        trailer = self._expect(RESULT).json()
+        version = trailer.get("version")
+        if version is not None:
+            self._note_version(document_id, int(version))
+        return trailer
 
     def stats(self) -> Dict[str, Any]:
         """Station + server operational counters (a STATS round-trip)."""
@@ -214,16 +275,79 @@ class RemoteSession:
         self.close()
 
     # ------------------------------------------------------------------
+    def poll_notifications(self) -> int:
+        """Drain any already-arrived server pushes without blocking.
+
+        INVALIDATED frames can land on the socket while the client is
+        not inside a call; this processes whatever is buffered (kernel
+        + decoder) and returns the number of invalidations handled.
+        """
+        before = self.invalidations_seen
+        self._sock.setblocking(False)
+        try:
+            while True:
+                data = self._sock.recv(65536)
+                if not data:
+                    break  # server closed; surfaced by the next call
+                self._pending.extend(self._decoder.feed(data))
+        except (BlockingIOError, InterruptedError, socket.timeout):
+            pass
+        finally:
+            self._sock.settimeout(self._timeout)
+        self._pending = [
+            frame for frame in self._pending if not self._consume_push(frame)
+        ]
+        return self.invalidations_seen - before
+
+    def _consume_push(self, frame: Frame) -> bool:
+        """Handle a server-push frame; True when it was consumed."""
+        if frame.type != INVALIDATED:
+            return False
+        try:
+            body = frame.json()
+            document_id = body["document"]
+            version = int(body["version"])
+        except (ProtocolError, KeyError, TypeError, ValueError):
+            return True  # malformed push: drop rather than desync a call
+        self.invalidations_seen += 1
+        self._note_version(document_id, version)
+        return True
+
+    def _note_version(self, document_id: str, version: int) -> None:
+        known = self.document_versions.get(document_id)
+        if known is None or version > known:
+            self.document_versions[document_id] = version
+            for key in [k for k in self._cache if k[0] == document_id]:
+                del self._cache[key]
+
+    def _is_stale(self, document_id: str, version) -> bool:
+        """Is a result at ``version`` already superseded?
+
+        An INVALIDATED push consumed *mid-query* can announce a newer
+        version than the RESULT being assembled (the server evaluated
+        the pre-update snapshot); caching that result would serve stale
+        data forever, since no further push for that version will come.
+        """
+        if version is None:
+            return False
+        known = self.document_versions.get(document_id)
+        return known is not None and int(version) < known
+
     def _send(self, data: bytes) -> None:
         self._sock.sendall(data)
 
     def _recv(self) -> Frame:
-        while not self._pending:
-            data = self._sock.recv(65536)
-            if not data:
-                raise ConnectionError("server closed the connection")
-            self._pending.extend(self._decoder.feed(data))
-        return self._pending.pop(0)
+        while True:
+            while not self._pending:
+                data = self._sock.recv(65536)
+                if not data:
+                    raise ConnectionError("server closed the connection")
+                self._pending.extend(self._decoder.feed(data))
+            frame = self._pending.pop(0)
+            # Server pushes are out-of-band: consume them here so every
+            # caller (mid-query or not) sees only its own frames.
+            if not self._consume_push(frame):
+                return frame
 
     def _expect(self, ftype: int) -> Frame:
         frame = self._recv()

@@ -10,9 +10,13 @@ speak — a fixed 11-byte header followed by an opaque payload::
     |  1 B  |   1 B   | 1 B  |  4 B (BE)  |    4 B (BE)    |  0..N B |
     +-------+---------+------+------------+----------------+---------+
 
-Control payloads (HELLO, WELCOME, QUERY, RESULT, ERROR, STATS) are
-UTF-8 JSON objects; CHUNK payloads are raw bytes of the serialized
-authorized view (optionally sealed under the session link key).  The
+Control payloads (HELLO, WELCOME, QUERY, RESULT, ERROR, STATS,
+UPDATE, INVALIDATED) are UTF-8 JSON objects; CHUNK payloads are raw
+bytes of the serialized authorized view (optionally sealed under the
+session link key).  INVALIDATED is the one server-*push* frame: it may
+arrive at any point in the stream (even between the CHUNKs of another
+request) and announces that a document changed version, so clients
+must treat it out-of-band.  The
 :class:`FrameDecoder` is incremental — feed it arbitrary byte slices
 from a socket or an asyncio reader and it yields complete frames —
 so the same code serves the blocking client SDK and the asyncio
@@ -47,6 +51,8 @@ ERROR = 0x06  # server -> client: {"code": ..., "message": ...}
 STATS_REQUEST = 0x07  # client -> server: {}
 STATS = 0x08  # server -> client: {"station": ..., "server": ..., "meter": ...}
 BYE = 0x09  # client -> server: graceful close
+UPDATE = 0x0A  # client -> server: {"document": ..., "op": {...}}
+INVALIDATED = 0x0B  # server -> client (push): {"document": ..., "version": ...}
 
 TYPE_NAMES = {
     HELLO: "HELLO",
@@ -58,6 +64,8 @@ TYPE_NAMES = {
     STATS_REQUEST: "STATS_REQUEST",
     STATS: "STATS",
     BYE: "BYE",
+    UPDATE: "UPDATE",
+    INVALIDATED: "INVALIDATED",
 }
 
 

@@ -12,9 +12,16 @@ Design points:
 
 * **One event loop, CPU work off-loop.**  Policy evaluation is pure
   python and can take seconds on big documents; each QUERY runs in the
-  default thread-pool executor under the station lock (the station's
-  plan-cache LRU is not thread-safe), so the loop keeps accepting
-  connections and serving STATS while a view is computed.
+  default thread-pool executor, so the loop keeps accepting
+  connections and serving STATS while a view is computed.  The
+  :class:`SecureStation` is internally thread-safe (session counter,
+  plan LRU, document map under its own lock) and published documents
+  are immutable snapshots, so evaluations run genuinely in parallel.
+* **Live updates.**  An UPDATE frame applies a
+  :class:`~repro.skipindex.updates.UpdateOp` through
+  :meth:`SecureStation.update` (dirty-chunk re-encryption under a
+  bumped document version); every live connection then receives an
+  INVALIDATED push so clients drop cached views and re-fetch.
 * **Bounded-queue backpressure.**  The producer thread prepares (and,
   with ``seal=True``, encrypts) view chunks and *blocks* on a
   ``queue_depth``-slot gate until the writer task has flushed earlier
@@ -47,10 +54,12 @@ from repro.server.protocol import (
     CHUNK,
     ERROR,
     HELLO,
+    INVALIDATED,
     QUERY,
     RESULT,
     STATS,
     STATS_REQUEST,
+    UPDATE,
     WELCOME,
     Frame,
     FrameDecoder,
@@ -58,6 +67,7 @@ from repro.server.protocol import (
     encode_frame,
     json_frame,
 )
+from repro.skipindex.updates import UpdateError, UpdateOp
 
 #: Error codes carried by ERROR frames.
 E_BAD_FRAME = "bad-frame"
@@ -65,6 +75,7 @@ E_PROTOCOL = "protocol"
 E_UNKNOWN_DOCUMENT = "unknown-document"
 E_NO_GRANT = "no-grant"
 E_LIMIT = "limit"
+E_UPDATE = "update"
 E_INTERNAL = "internal"
 
 #: Worst-case growth of a sealed chunk over its plaintext: 4-byte
@@ -102,6 +113,7 @@ class StationServer:
         max_queries_per_session: int = 10_000,
         max_payload: int = protocol.DEFAULT_MAX_PAYLOAD,
         seal: bool = False,
+        allow_updates: bool = True,
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -124,18 +136,23 @@ class StationServer:
         self.max_queries_per_session = max_queries_per_session
         self.max_payload = max_payload
         self.seal = seal
+        self.allow_updates = allow_updates
         self.meter = ThreadSafeMeter()
         self.server_stats: Dict[str, int] = {
             "connections": 0,
             "active": 0,
             "queries": 0,
+            "updates": 0,
+            "invalidations": 0,
             "errors": 0,
             "chunks_streamed": 0,
             "bytes_streamed": 0,
         }
-        self._station_lock = threading.Lock()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._tasks: set = set()
+        # Live connections (for INVALIDATED broadcast on update).
+        self._writers: Dict[_Connection, asyncio.StreamWriter] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -147,6 +164,8 @@ class StationServer:
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port
         )
+        self._loop = asyncio.get_running_loop()
+        self.station.subscribe(self._on_station_update)
         self.port = self._server.sockets[0].getsockname()[1]
         return self.address
 
@@ -157,6 +176,7 @@ class StationServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        self.station.unsubscribe(self._on_station_update)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -179,6 +199,7 @@ class StationServer:
         decoder = FrameDecoder(self.max_payload)
         self.server_stats["connections"] += 1
         self.server_stats["active"] += 1
+        self._writers[conn] = writer
         try:
             while True:
                 data = await reader.read(65536)
@@ -201,6 +222,7 @@ class StationServer:
             pass
         finally:
             self._tasks.discard(task)
+            self._writers.pop(conn, None)
             self.meter.merge(conn.meter)
             self.server_stats["active"] -= 1
             writer.close()
@@ -220,6 +242,8 @@ class StationServer:
             return False
         if frame.type == QUERY:
             return await self._on_query(frame, conn, writer)
+        if frame.type == UPDATE:
+            return await self._on_update(frame, conn, writer)
         if frame.type == STATS_REQUEST:
             return await self._on_stats(conn, writer)
         await self._send_error(
@@ -244,16 +268,12 @@ class StationServer:
                 writer, conn, E_BAD_FRAME, "HELLO payload must carry a subject"
             )
             return False
-        # The lock may be held for seconds by a query evaluating on an
-        # executor thread; never block the event loop waiting for it.
+        # The station is internally thread-safe, but connect still runs
+        # off-loop: key derivation must never stall frame dispatch.
         loop = asyncio.get_running_loop()
-        name = str(subject)
-
-        def connect():
-            with self._station_lock:
-                return self.station.connect(name)
-
-        conn.session = await loop.run_in_executor(None, connect)
+        conn.session = await loop.run_in_executor(
+            None, self.station.connect, str(subject)
+        )
         welcome = {
             "session": conn.session.session_id,
             "subject": conn.session.subject,
@@ -298,13 +318,12 @@ class StationServer:
         session = conn.session
 
         def evaluate():
-            with self._station_lock:
-                return session.stream_view(
-                    document_id,
-                    query=query,
-                    chunk_size=self.chunk_size,
-                    seal=self.seal,
-                )
+            return session.stream_view(
+                document_id,
+                query=query,
+                chunk_size=self.chunk_size,
+                seal=self.seal,
+            )
 
         try:
             stream = await loop.run_in_executor(None, evaluate)
@@ -327,6 +346,12 @@ class StationServer:
             "bytes": stream.payload_bytes,
             "sealed": stream.sealed,
             "seconds": stream.result.seconds,
+            # Stamped by the station atomically with the snapshot this
+            # request evaluated — an update landing mid-evaluation
+            # leaves the request on the pre-update snapshot *and* the
+            # pre-update version; the INVALIDATED push handles re-fetch.
+            "version": stream.result.document_version,
+            "document": document_id,
             "meter": {
                 k: v for k, v in stream.result.meter.as_dict().items() if v
             },
@@ -335,6 +360,102 @@ class StationServer:
         self.server_stats["chunks_streamed"] += chunks
         self.server_stats["bytes_streamed"] += sent_bytes
         return True
+
+    # ------------------------------------------------------------------
+    async def _on_update(
+        self, frame: Frame, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> bool:
+        if not self.allow_updates:
+            await self._send_error(
+                writer, conn, E_LIMIT, "this server is read-only"
+            )
+            return True
+        try:
+            body = frame.json()
+            document_id = body["document"]
+            op = UpdateOp.from_dict(body.get("op") or {})
+        except (ProtocolError, KeyError, UpdateError) as exc:
+            await self._send_error(
+                writer, conn, E_BAD_FRAME, "bad UPDATE frame: %s" % exc
+            )
+            return False
+        try:
+            self.station.document_version(document_id)
+        except StationError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            await self._send_error(writer, conn, E_UNKNOWN_DOCUMENT, message)
+            return True
+        # Writes require at least a read grant on the target document;
+        # anything finer-grained (per-subtree write rules) would need
+        # its own policy language, but an ungranted subject must never
+        # be able to rewrite a document it cannot even read.
+        if not self.station.has_grant(document_id, conn.session.subject):
+            await self._send_error(
+                writer,
+                conn,
+                E_NO_GRANT,
+                "no grant for subject %r on document %r"
+                % (conn.session.subject, document_id),
+            )
+            return True
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, self.station.update, document_id, op
+            )
+        except StationError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            await self._send_error(writer, conn, E_UNKNOWN_DOCUMENT, message)
+            return True
+        except UpdateError as exc:
+            await self._send_error(writer, conn, E_UPDATE, str(exc))
+            return True
+        except Exception as exc:
+            await self._send_error(writer, conn, E_INTERNAL, str(exc))
+            return True
+        self.server_stats["updates"] += 1
+        trailer = {
+            "document": document_id,
+            "version": result.version,
+            "update": result.as_dict(),
+        }
+        await self._send(writer, json_frame(RESULT, conn.session_id, trailer))
+        return True
+
+    def _on_station_update(self, document_id: str, version: int) -> None:
+        """Station listener (any thread): broadcast INVALIDATED."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+
+        def schedule() -> None:
+            task = asyncio.ensure_future(
+                self._broadcast_invalidated(document_id, version)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+        try:
+            loop.call_soon_threadsafe(schedule)
+        except RuntimeError:  # loop already closed mid-shutdown
+            pass
+
+    async def _broadcast_invalidated(self, document_id: str, version: int) -> None:
+        """Push one INVALIDATED frame to every live connection.
+
+        `write()` without `drain()` by design: the frame is small, the
+        transport flushes it on its own, and awaiting drain here could
+        interleave with a connection's own writer task.  A frame is
+        written atomically (one `write()` call), so it can land between
+        the CHUNK frames of an in-flight response but never inside one.
+        """
+        body = {"document": document_id, "version": version}
+        for conn, writer in list(self._writers.items()):
+            try:
+                writer.write(json_frame(INVALIDATED, conn.session_id, body))
+                self.server_stats["invalidations"] += 1
+            except Exception:  # connection is on its way down
+                pass
 
     async def _stream_chunks(
         self, stream, conn: _Connection, writer: asyncio.StreamWriter

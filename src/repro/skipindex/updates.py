@@ -155,6 +155,127 @@ def rename_element(root: Node, path: IndexPath, new_tag: str) -> Node:
 
 
 # ----------------------------------------------------------------------
+# Serializable edit operations (the live update path's unit of work)
+# ----------------------------------------------------------------------
+class UpdateOp:
+    """One edit, as data: applicable to a tree and wire-serializable.
+
+    The pure edit functions above are the semantics; an ``UpdateOp``
+    names one of them plus its arguments so the same edit can travel
+    through :meth:`SecureStation.update`, the server's UPDATE frame
+    and the ``repro update`` CLI.  ``insert_element`` payloads travel
+    as XML text (``xml``); a :class:`~repro.xmlkit.dom.Node` passed
+    programmatically is serialized on demand.
+    """
+
+    KINDS = ("insert_element", "delete_element", "update_text", "rename_element")
+
+    __slots__ = ("kind", "path", "text", "tag", "node", "position")
+
+    def __init__(
+        self,
+        kind: str,
+        path: IndexPath,
+        text: Optional[str] = None,
+        tag: Optional[str] = None,
+        node: Optional[Node] = None,
+        position: Optional[int] = None,
+    ):
+        if kind not in self.KINDS:
+            raise UpdateError(
+                "unknown update kind %r (expected one of %s)" % (kind, self.KINDS)
+            )
+        self.kind = kind
+        self.path = list(path)
+        self.text = text
+        self.tag = tag
+        self.node = node
+        self.position = position
+        if kind == "insert_element" and node is None:
+            raise UpdateError("insert_element needs the new element")
+        if kind == "update_text" and text is None:
+            raise UpdateError("update_text needs the replacement text")
+        if kind == "rename_element" and not tag:
+            raise UpdateError("rename_element needs the new tag")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def insert(cls, path: IndexPath, node: Node, position: Optional[int] = None) -> "UpdateOp":
+        return cls("insert_element", path, node=node, position=position)
+
+    @classmethod
+    def delete(cls, path: IndexPath) -> "UpdateOp":
+        return cls("delete_element", path)
+
+    @classmethod
+    def set_text(cls, path: IndexPath, text: str) -> "UpdateOp":
+        return cls("update_text", path, text=text)
+
+    @classmethod
+    def rename(cls, path: IndexPath, tag: str) -> "UpdateOp":
+        return cls("rename_element", path, tag=tag)
+
+    # -- application ----------------------------------------------------
+    def apply(self, root: Node) -> Node:
+        """The edited tree (the input tree is never mutated)."""
+        if self.kind == "insert_element":
+            return insert_element(root, self.path, self.node, position=self.position)
+        if self.kind == "delete_element":
+            return delete_element(root, self.path)
+        if self.kind == "update_text":
+            return update_text(root, self.path, self.text)
+        return rename_element(root, self.path, self.tag)
+
+    # -- wire form ------------------------------------------------------
+    def as_dict(self) -> dict:
+        body: dict = {"kind": self.kind, "path": list(self.path)}
+        if self.text is not None:
+            body["text"] = self.text
+        if self.tag is not None:
+            body["tag"] = self.tag
+        if self.position is not None:
+            body["position"] = self.position
+        if self.node is not None:
+            from repro.xmlkit.serializer import serialize
+
+            body["xml"] = serialize(self.node)
+        return body
+
+    @classmethod
+    def from_dict(cls, body: dict) -> "UpdateOp":
+        if not isinstance(body, dict):
+            raise UpdateError("update op must be an object, got %r" % type(body))
+        kind = body.get("kind")
+        path = body.get("path", [])
+        if not isinstance(path, (list, tuple)) or not all(
+            isinstance(index, int) for index in path
+        ):
+            raise UpdateError("update path must be a list of integers")
+        node = None
+        if body.get("xml") is not None:
+            from repro.xmlkit.parser import parse_document
+
+            try:
+                node = parse_document(body["xml"])
+            except Exception as exc:
+                raise UpdateError("bad xml payload: %s" % exc)
+        position = body.get("position")
+        if position is not None and not isinstance(position, int):
+            raise UpdateError("position must be an integer")
+        return cls(
+            kind,
+            path,
+            text=body.get("text"),
+            tag=body.get("tag"),
+            node=node,
+            position=position,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UpdateOp(%s at %s)" % (self.kind, self.path)
+
+
+# ----------------------------------------------------------------------
 # Impact measurement
 # ----------------------------------------------------------------------
 def _diff_ranges(old: bytes, new: bytes) -> List[Tuple[int, int]]:
@@ -183,6 +304,56 @@ def _diff_ranges(old: bytes, new: bytes) -> List[Tuple[int, int]]:
     return ranges
 
 
+def reencode_after(
+    old_encoded: EncodedDocument, new_tree: Node
+) -> Tuple[EncodedDocument, bool]:
+    """Re-encode ``new_tree`` reusing (and possibly extending) the old
+    encoding's tag dictionary, so unchanged tags keep their codes — the
+    realistic in-place update discipline.  Returns ``(new encoding,
+    dictionary grew)``.
+    """
+    dictionary = TagDictionary(old_encoded.dictionary.tags())
+    old_tag_count = len(dictionary)
+    for node in new_tree.descendants():
+        dictionary.add(node.tag)
+    new_encoded = encode_document(new_tree, dictionary)
+    return new_encoded, len(dictionary) > old_tag_count
+
+
+def impact_between(
+    old_encoded: EncodedDocument,
+    new_encoded: EncodedDocument,
+    old_tree: Node,
+    new_tree: Node,
+    layout: Optional[ChunkLayout] = None,
+    dictionary_grew: Optional[bool] = None,
+) -> UpdateImpact:
+    """The paper's update impact between two encodings of one document.
+
+    Diffing the *actual* old encoding (rather than a re-encode of the
+    old tree) is what the live update path needs: the dirty chunk set
+    must be exact with respect to the bytes the terminal really stores.
+    """
+    layout = layout if layout is not None else ChunkLayout()
+    if dictionary_grew is None:
+        dictionary_grew = len(new_encoded.dictionary) > len(old_encoded.dictionary)
+    ranges = _diff_ranges(old_encoded.data, new_encoded.data)
+    changed = sum(end - start for start, end in ranges)
+    chunk_set = set()
+    for start, end in ranges:
+        for chunk in layout.chunks_covering(start, end - start):
+            chunk_set.add(chunk)
+    return UpdateImpact(
+        old_size=len(old_encoded.data),
+        new_size=len(new_encoded.data),
+        changed_bytes=changed,
+        changed_ranges=ranges,
+        chunks_to_reencrypt=len(chunk_set),
+        dictionary_grew=dictionary_grew,
+        size_width_jumped=_size_width_jumped(old_tree, new_tree),
+    )
+
+
 def measure_update(
     old_tree: Node,
     new_tree: Node,
@@ -194,33 +365,15 @@ def measure_update(
     of chunks to re-encrypt assumes in-place chunk rewriting at the
     terminal (each touched chunk's payload and digest are redone).
     """
-    layout = layout if layout is not None else ChunkLayout()
     old_encoded = encode_document(old_tree)
-    # Reuse (and possibly extend) the old dictionary so unchanged tags
-    # keep their codes — the realistic in-place update discipline.
-    dictionary = TagDictionary(old_encoded.dictionary.tags())
-    old_tag_count = len(dictionary)
-    for node in new_tree.descendants():
-        dictionary.add(node.tag)
-    new_encoded = encode_document(new_tree, dictionary)
-
-    ranges = _diff_ranges(old_encoded.data, new_encoded.data)
-    changed = sum(end - start for start, end in ranges)
-    chunk_set = set()
-    for start, end in ranges:
-        for chunk in layout.chunks_covering(start, end - start):
-            chunk_set.add(chunk)
-
-    dictionary_grew = len(dictionary) > old_tag_count
-    size_width_jumped = _size_width_jumped(old_tree, new_tree)
-    impact = UpdateImpact(
-        old_size=len(old_encoded.data),
-        new_size=len(new_encoded.data),
-        changed_bytes=changed,
-        changed_ranges=ranges,
-        chunks_to_reencrypt=len(chunk_set),
+    new_encoded, dictionary_grew = reencode_after(old_encoded, new_tree)
+    impact = impact_between(
+        old_encoded,
+        new_encoded,
+        old_tree,
+        new_tree,
+        layout=layout,
         dictionary_grew=dictionary_grew,
-        size_width_jumped=size_width_jumped,
     )
     return new_encoded, impact
 

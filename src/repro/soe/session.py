@@ -95,7 +95,13 @@ def delivered_bytes(events: List[Event]) -> int:
 
 
 class SessionResult:
-    """Authorized view + cost accounting of one SOE run."""
+    """Authorized view + cost accounting of one SOE run.
+
+    ``document_version`` is stamped by :meth:`SecureStation.evaluate`
+    with the update version of the exact snapshot evaluated (read
+    atomically with the snapshot itself); ``None`` outside the station
+    path.
+    """
 
     def __init__(
         self,
@@ -108,6 +114,7 @@ class SessionResult:
         self.meter = meter
         self.breakdown = breakdown
         self.context = context
+        self.document_version: Optional[int] = None
 
     @property
     def seconds(self) -> float:

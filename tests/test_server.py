@@ -446,13 +446,35 @@ class TestThreadSafeMeter:
 # Load generator
 # ----------------------------------------------------------------------
 class TestLoadgen:
-    def test_percentile(self):
+    def test_percentile_nearest_rank(self):
         values = [1.0, 2.0, 3.0, 4.0]
         assert percentile(values, 0) == 1.0
         assert percentile(values, 100) == 4.0
-        assert percentile(values, 50) == 2.5
+        assert percentile(values, 50) == 2.0  # ceil(0.5 * 4) = rank 2
+        assert percentile(values, 51) == 3.0
         assert percentile([], 50) == 0.0
         assert percentile([7.0], 95) == 7.0
+
+    def test_percentile_small_samples_do_not_understate_tail(self):
+        # With n < 100 the old interpolation reported a p99 below the
+        # worst observed request; nearest-rank must return the max.
+        for n in (1, 2, 3, 5, 10, 50, 99):
+            values = [float(i) for i in range(1, n + 1)]
+            assert percentile(values, 99) == float(n), n
+            assert percentile(values, 95) >= percentile(values, 50)
+        # Sanity at n = 100: p99 is the 99th sample, not the 100th.
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 50) == 50.0
+
+    def test_percentile_unsorted_input_and_bounds(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([], 150)  # bounds beat the empty-input shortcut
 
     def test_two_client_smoke(self, live_server, tmp_path):
         server, host, port, subjects = live_server

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.skipindex.decoder import decode_document
+from repro.skipindex.encoder import encode_document
 from repro.skipindex.updates import (
     UpdateError,
     delete_element,
+    impact_between,
     insert_element,
     measure_update,
+    reencode_after,
     rename_element,
     update_text,
 )
@@ -124,3 +127,49 @@ class TestUpdateImpact:
             assert start >= previous_end
             assert end > start
             previous_end = end
+
+
+class TestReencodeHelpers:
+    def test_reencode_after_preserves_tag_codes(self):
+        tree = sample()
+        encoded = encode_document(tree)
+        updated = update_text(tree, [5, 1], "changed!")
+        new_encoded, grew = reencode_after(encoded, updated)
+        assert not grew
+        assert new_encoded.dictionary.tags()[: len(encoded.dictionary.tags())] == (
+            encoded.dictionary.tags()
+        )
+        assert decode_document(new_encoded) == updated
+
+    def test_reencode_after_reports_dictionary_growth(self):
+        tree = sample()
+        encoded = encode_document(tree)
+        updated = rename_element(tree, [2], "fresh_tag")
+        _new_encoded, grew = reencode_after(encoded, updated)
+        assert grew
+
+    def test_identity_reencode_diffs_to_nothing(self):
+        """decode -> re-encode with the same dictionary is byte-stable:
+        the live update path's diff sees only the actual edit."""
+        tree = sample()
+        encoded = encode_document(tree)
+        same, grew = reencode_after(encoded, decode_document(encoded))
+        assert not grew
+        assert same.data == encoded.data
+        impact = impact_between(encoded, same, tree, tree)
+        assert impact.changed_bytes == 0
+        assert impact.chunks_to_reencrypt == 0
+        assert not impact.is_worst_case
+
+    def test_impact_between_matches_measure_update(self):
+        tree = sample()
+        updated = update_text(tree, [7, 1], "different length text here")
+        encoded = encode_document(tree)
+        new_encoded, grew = reencode_after(encoded, updated)
+        direct = impact_between(
+            encoded, new_encoded, tree, updated, dictionary_grew=grew
+        )
+        _enc, via_measure = measure_update(tree, updated)
+        assert direct.changed_bytes == via_measure.changed_bytes
+        assert direct.chunks_to_reencrypt == via_measure.chunks_to_reencrypt
+        assert direct.is_worst_case == via_measure.is_worst_case
