@@ -116,6 +116,8 @@ class AuthorizationStack:
     policy and stays empty.
     """
 
+    __slots__ = ("levels", "_version", "_snapshot_cache", "peak_entries", "push_count")
+
     def __init__(self):
         self.levels: List[List[RuleInstance]] = [[]]
         self._version = 0

@@ -58,6 +58,8 @@ class SubtreeMeta:
 class Navigator:
     """Protocol base class; concrete navigators override everything."""
 
+    __slots__ = ()
+
     def next(self) -> Optional[Tuple[int, str, Optional[SubtreeMeta]]]:
         """Return the next ``(kind, value, meta)`` or ``None`` at EOF."""
         raise NotImplementedError
@@ -93,6 +95,8 @@ class SimpleEventNavigator(Navigator):
     every event.
     """
 
+    __slots__ = ("_iterator",)
+
     def __init__(self, events):
         self._iterator = iter(events)
 
@@ -111,6 +115,17 @@ class EventListNavigator(Navigator):
     degrades it to a skip-capable navigator without metadata (the
     evaluator then cannot filter tokens, only skip on global decisions).
     """
+
+    __slots__ = (
+        "events",
+        "provide_meta",
+        "meter",
+        "_pos",
+        "_open_stack",
+        "_close_index",
+        "_desc_tags",
+        "_subtree_events",
+    )
 
     def __init__(
         self,

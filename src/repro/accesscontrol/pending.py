@@ -83,6 +83,8 @@ class ResultBuilder:
     of events.
     """
 
+    __slots__ = ("dummy_tag", "_root", "_stack", "_finalized")
+
     def __init__(self, dummy_tag: Optional[str] = None):
         self.dummy_tag = dummy_tag
         self._root = ResultNode("", ALWAYS)  # virtual super-root

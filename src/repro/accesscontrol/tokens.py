@@ -188,6 +188,8 @@ class TokenStack:
     """The Token Stack: a list of :class:`Frame`, one per open element,
     plus the bottom frame holding the initial tokens."""
 
+    __slots__ = ("frames", "peak_depth", "peak_tokens")
+
     def __init__(self):
         root = Frame("")
         self.frames: List[Frame] = [root]

@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     fig10_queries,
     fig11_integrity,
     fig12_real_datasets,
+    hotpath_experiment,
     render,
     server_load,
     table1_costs,
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "fig12": ("Figure 12 - performance on real datasets", fig12_real_datasets),
     "server": ("Server load - repro.server over localhost TCP", server_load),
     "updates": ("Updates - live dirty-chunk re-encryption costs", updates_experiment),
+    "hotpath": ("Hot path - view cache, skip-pruned replay, vectorized crypto", hotpath_experiment),
 }
 
 

@@ -6,11 +6,11 @@ Exposes the pipeline end to end::
     python -m repro encode   doc.xml doc.xskp
     python -m repro protect  doc.xml doc.store --scheme ECB-MHT --key 00112233445566778899aabbccddeeff
     python -m repro view     doc.store --key 001122... --rule "+://book" --rule "-://internal" [--query "//book[price < 20]"]
-    python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12 server updates]
+    python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12 server updates hotpath]
     python -m repro serve    --port 8471 [--hospital 3 | --store doc.store --key ... --rule ... --subject bob]
     python -m repro remote-view 127.0.0.1:8471 hospital --subject secretary [--query ...]
     python -m repro update   127.0.0.1:8471 hospital --subject secretary --kind update-text --path 0,1 --text "new value"
-    python -m repro loadgen  127.0.0.1:8471 --clients 8 --queries 5
+    python -m repro loadgen  127.0.0.1:8471 --clients 8 --queries 5 [--mix "subject[:weight[:query]]" ...]
 
 The protected store is a self-describing file: one JSON header line
 (scheme name, layout, plaintext size) followed by the raw terminal
@@ -274,6 +274,21 @@ def cmd_serve(args) -> int:
         asyncio.run(amain())
     except KeyboardInterrupt:
         print("station server stopped", file=sys.stderr)
+    finally:
+        # Shutdown summary: the operational counters (plan/view cache
+        # behaviour, volumes) that were previously visible only
+        # in-process — remote operators get them live via STATS, and
+        # here one last time on the way out.
+        summary = {
+            "station": station.stats.as_dict(),
+            "cached_plans": station.cached_plans(),
+            "cached_views": station.cached_views(),
+            "server": dict(server.server_stats),
+            "meter": {
+                k: v for k, v in server.meter.as_dict().items() if v
+            },
+        }
+        print(json.dumps(summary, indent=2), file=sys.stderr)
     return 0
 
 
@@ -368,6 +383,10 @@ def cmd_loadgen(args) -> int:
         argv += ["--subject", subject]
     if args.query:
         argv += ["--query", args.query]
+    for spec in args.mix or []:
+        argv += ["--mix", spec]
+    if args.seed:
+        argv += ["--seed", str(args.seed)]
     return loadgen_main(argv)
 
 
@@ -522,6 +541,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--subject", action="append", dest="subjects", help="repeatable"
     )
     p_load.add_argument("--query")
+    p_load.add_argument(
+        "--mix",
+        action="append",
+        metavar="SUBJECT[:WEIGHT[:QUERY]]",
+        help="mixed workload: weighted (subject, query) classes "
+        "(repeatable; reports per-class latency + cache hits)",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
     p_load.add_argument("--output", default="BENCH_server.json")
     p_load.set_defaults(func=cmd_loadgen)
     return parser

@@ -43,6 +43,7 @@ class ChunkLayout:
         self.block_size = block_size
         self.digest_size = digest_size  # encrypted ChunkDigest (SHA-1 padded)
         self.fragments_per_chunk = fragments
+        self.blocks_per_chunk = chunk_size // block_size
 
     # ------------------------------------------------------------------
     def chunk_count(self, plaintext_size: int) -> int:
@@ -94,6 +95,8 @@ class ChunkLayout:
         """Zero-pad a (possibly last, short) chunk to the full size."""
         if len(data) > self.chunk_size:
             raise ValueError("chunk payload too large")
+        if len(data) == self.chunk_size:
+            return data
         return data + b"\x00" * (self.chunk_size - len(data))
 
     def split_fragments(self, chunk: bytes) -> List[bytes]:

@@ -114,6 +114,54 @@ def _rotate28(value: int, count: int) -> int:
     return ((value << count) | (value >> (28 - count))) & 0xFFFFFFF
 
 
+# ----------------------------------------------------------------------
+# Table-driven fast paths, built once at import time
+# ----------------------------------------------------------------------
+# Bit permutations are linear: permuting a value equals OR-ing the
+# permutations of its bytes.  Each per-byte table below therefore holds
+# the permutation of `byte << shift` for all 256 byte values, turning a
+# 64-entry bit loop per block into eight table lookups.
+
+
+def _byte_tables(width: int, table: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
+    tables = []
+    for byte_index in range(width // 8):
+        shift = width - 8 * (byte_index + 1)
+        tables.append(
+            tuple(_permute(value << shift, width, table) for value in range(256))
+        )
+    return tuple(tables)
+
+
+_IP_BYTES = _byte_tables(64, _IP)
+_FP_BYTES = _byte_tables(64, _FP)
+_E_BYTES = _byte_tables(32, _E)
+
+# Combined S-box + P permutation: _SP[box][chunk] is the P-permuted
+# contribution of S-box `box` fed with the 6-bit `chunk`.
+_SP = tuple(
+    tuple(
+        _permute(
+            _SBOXES[box][16 * (((chunk & 0x20) >> 4) | (chunk & 1)) + ((chunk >> 1) & 0xF)]
+            << (28 - 4 * box),
+            32,
+            _P,
+        )
+        for chunk in range(64)
+    )
+    for box in range(8)
+)
+
+
+def _permute_bytes(value: int, tables: Tuple[Tuple[int, ...], ...]) -> int:
+    result = 0
+    shift = 8 * (len(tables) - 1)
+    for table in tables:
+        result |= table[(value >> shift) & 0xFF]
+        shift -= 8
+    return result
+
+
 class Des:
     """Single DES over 8-byte blocks with an 8-byte key."""
 
@@ -124,6 +172,7 @@ class Des:
         if len(key) != 8:
             raise ValueError("DES key must be 8 bytes")
         self._subkeys = self._key_schedule(int.from_bytes(key, "big"))
+        self._subkeys_rev = tuple(reversed(self._subkeys))
 
     @staticmethod
     def _key_schedule(key: int) -> Tuple[int, ...]:
@@ -139,29 +188,34 @@ class Des:
 
     @staticmethod
     def _feistel(half: int, subkey: int) -> int:
-        expanded = _permute(half, 32, _E) ^ subkey
-        output = 0
-        for box in range(8):
-            chunk = (expanded >> (42 - 6 * box)) & 0x3F
-            row = ((chunk & 0x20) >> 4) | (chunk & 1)
-            column = (chunk >> 1) & 0xF
-            output = (output << 4) | _SBOXES[box][16 * row + column]
-        return _permute(output, 32, _P)
+        expanded = _permute_bytes(half, _E_BYTES) ^ subkey
+        sp = _SP
+        return (
+            sp[0][(expanded >> 42) & 0x3F]
+            | sp[1][(expanded >> 36) & 0x3F]
+            | sp[2][(expanded >> 30) & 0x3F]
+            | sp[3][(expanded >> 24) & 0x3F]
+            | sp[4][(expanded >> 18) & 0x3F]
+            | sp[5][(expanded >> 12) & 0x3F]
+            | sp[6][(expanded >> 6) & 0x3F]
+            | sp[7][expanded & 0x3F]
+        )
 
     def _crypt_block(self, block: bytes, subkeys: Sequence[int]) -> bytes:
-        value = _permute(int.from_bytes(block, "big"), 64, _IP)
+        value = _permute_bytes(int.from_bytes(block, "big"), _IP_BYTES)
         left = value >> 32
         right = value & 0xFFFFFFFF
+        feistel = self._feistel
         for subkey in subkeys:
-            left, right = right, left ^ self._feistel(right, subkey)
+            left, right = right, left ^ feistel(right, subkey)
         combined = (right << 32) | left  # final swap
-        return _permute(combined, 64, _FP).to_bytes(8, "big")
+        return _permute_bytes(combined, _FP_BYTES).to_bytes(8, "big")
 
     def encrypt_block(self, block: bytes) -> bytes:
         return self._crypt_block(block, self._subkeys)
 
     def decrypt_block(self, block: bytes) -> bytes:
-        return self._crypt_block(block, tuple(reversed(self._subkeys)))
+        return self._crypt_block(block, self._subkeys_rev)
 
 
 class TripleDes:

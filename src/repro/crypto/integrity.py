@@ -290,6 +290,43 @@ class BaseReader:
         raise NotImplementedError
 
 
+def _decrypt_block_runs(
+    cipher,
+    payload: bytes,
+    base_position: int,
+    first: int,
+    last: int,
+    cache: _ChunkCache,
+    meter: Meter,
+    block: int,
+    charge_transfer: bool = True,
+) -> None:
+    """Decrypt the not-yet-cached blocks in ``[first, last]`` as
+    contiguous runs (one positioned-mode call per run instead of one
+    per 8-byte block); charges are identical to the per-block form.
+
+    ``charge_transfer=False`` for readers whose transfer was already
+    charged at fragment granularity (ECB-MHT).
+    """
+    have = cache.have_blocks
+    plain_buffer = cache.plain
+    index = first
+    while index <= last:
+        if index in have:
+            index += 1
+            continue
+        run_start = index
+        while index <= last and index not in have:
+            index += 1
+        span = payload[run_start * block : index * block]
+        if charge_transfer:
+            meter.bytes_transferred += len(span)
+        plain = decrypt_positioned(cipher, span, base_position + run_start * block)
+        meter.bytes_decrypted += len(span)
+        plain_buffer[run_start * block : index * block] = plain
+        have.update(range(run_start, index))
+
+
 # ----------------------------------------------------------------------
 # ECB: confidentiality only
 # ----------------------------------------------------------------------
@@ -324,17 +361,9 @@ class _EcbReader(BaseReader):
             chunk_index * layout.chunk_size,
             self.document.chunk_version(chunk_index),
         )
-        for index in range(first, last + 1):
-            if index in self.cache.have_blocks:
-                continue
-            cipher_block = payload[index * block : (index + 1) * block]
-            self.meter.bytes_transferred += block
-            plain = decrypt_positioned(
-                self.scheme.cipher, cipher_block, base + index * block
-            )
-            self.meter.bytes_decrypted += block
-            self.cache.plain[index * block : (index + 1) * block] = plain
-            self.cache.have_blocks.add(index)
+        _decrypt_block_runs(
+            self.scheme.cipher, payload, base, first, last, self.cache, self.meter, block
+        )
 
 
 # ----------------------------------------------------------------------
@@ -441,7 +470,9 @@ class _CbcShacReader(BaseReader):
             )
             cipher_block = payload[index * block : (index + 1) * block]
             plain_block = self.scheme.cipher.decrypt_block(cipher_block)
-            plain = bytes(a ^ b for a, b in zip(plain_block, previous))
+            plain = (
+                int.from_bytes(plain_block, "big") ^ int.from_bytes(previous, "big")
+            ).to_bytes(block, "big")
             self.meter.bytes_decrypted += block
             self.cache.plain[index * block : (index + 1) * block] = plain
             self.cache.have_blocks.add(index)
@@ -533,24 +564,25 @@ class _EcbMhtReader(BaseReader):
                     "chunk %d Merkle verification failed" % chunk_index
                 )
             self.cache.have_fragments.update(needed_fragments)
-        # Decrypt only the blocks of the requested range.
+        # Decrypt only the blocks of the requested range (batched into
+        # contiguous runs; the transfer was already charged per
+        # fragment above).
         block = layout.block_size
         base = versioned_position(
             chunk_index * layout.chunk_size,
             self.document.chunk_version(chunk_index),
         )
-        first = lo // block
-        last = (hi - 1) // block
-        for index in range(first, last + 1):
-            if index in self.cache.have_blocks:
-                continue
-            cipher_block = payload[index * block : (index + 1) * block]
-            plain = decrypt_positioned(
-                self.scheme.cipher, cipher_block, base + index * block
-            )
-            self.meter.bytes_decrypted += block
-            self.cache.plain[index * block : (index + 1) * block] = plain
-            self.cache.have_blocks.add(index)
+        _decrypt_block_runs(
+            self.scheme.cipher,
+            payload,
+            base,
+            lo // block,
+            (hi - 1) // block,
+            self.cache,
+            self.meter,
+            block,
+            charge_transfer=False,
+        )
 
 
 # ----------------------------------------------------------------------

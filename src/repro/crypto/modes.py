@@ -8,12 +8,27 @@ blocks at different positions produce different ciphertexts, and any
 single block can be decrypted independently given its position — which
 also defeats block-substitution attacks (a moved block decrypts to
 garbage because the position no longer matches).
+
+Two implementations live side by side:
+
+* the **default functions** (``encrypt_ecb`` & co.) are whole-buffer
+  fast paths: they hand the entire buffer to the cipher's
+  ``encrypt_blocks``/``decrypt_blocks`` when it has one, and XOR
+  chains/position masks via ``int.from_bytes`` over the full buffer
+  instead of a per-byte generator per block.  Position masks are
+  memoized across calls (chunk base positions repeat on every read);
+* the ``*_reference`` functions are the original block-at-a-time
+  forms, kept as the differential-fuzz oracle
+  (``tests/test_crypto.py``) and as the baseline of the crypto
+  microbench (``repro bench hotpath``).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Protocol
+import threading
+from collections import OrderedDict
+from typing import Protocol, Tuple
 
 
 class BlockCipher(Protocol):
@@ -43,6 +58,12 @@ class NullCipher:
     def decrypt_block(self, block: bytes) -> bytes:
         return bytes(block)
 
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        return bytes(data)
+
 
 def _check(data: bytes, block_size: int) -> None:
     if len(data) % block_size:
@@ -60,10 +81,41 @@ def pad_to_block(data: bytes, block_size: int = 8) -> bytes:
     return data
 
 
+def _encrypt_blocks(cipher: BlockCipher, data: bytes) -> bytes:
+    fast = getattr(cipher, "encrypt_blocks", None)
+    if fast is not None:
+        return fast(data)
+    size = cipher.block_size
+    return b"".join(
+        cipher.encrypt_block(data[i : i + size]) for i in range(0, len(data), size)
+    )
+
+
+def _decrypt_blocks(cipher: BlockCipher, data: bytes) -> bytes:
+    fast = getattr(cipher, "decrypt_blocks", None)
+    if fast is not None:
+        return fast(data)
+    size = cipher.block_size
+    return b"".join(
+        cipher.decrypt_block(data[i : i + size]) for i in range(0, len(data), size)
+    )
+
+
 # ----------------------------------------------------------------------
 # ECB
 # ----------------------------------------------------------------------
 def encrypt_ecb(cipher: BlockCipher, data: bytes) -> bytes:
+    _check(data, cipher.block_size)
+    return _encrypt_blocks(cipher, data)
+
+
+def decrypt_ecb(cipher: BlockCipher, data: bytes) -> bytes:
+    _check(data, cipher.block_size)
+    return _decrypt_blocks(cipher, data)
+
+
+def encrypt_ecb_reference(cipher: BlockCipher, data: bytes) -> bytes:
+    """Block-at-a-time oracle for :func:`encrypt_ecb`."""
     _check(data, cipher.block_size)
     size = cipher.block_size
     return b"".join(
@@ -71,7 +123,8 @@ def encrypt_ecb(cipher: BlockCipher, data: bytes) -> bytes:
     )
 
 
-def decrypt_ecb(cipher: BlockCipher, data: bytes) -> bytes:
+def decrypt_ecb_reference(cipher: BlockCipher, data: bytes) -> bytes:
+    """Block-at-a-time oracle for :func:`decrypt_ecb`."""
     _check(data, cipher.block_size)
     size = cipher.block_size
     return b"".join(
@@ -88,6 +141,42 @@ def encrypt_cbc(cipher: BlockCipher, data: bytes, iv: bytes) -> bytes:
     if len(iv) != size:
         raise ValueError("IV must be one block")
     out = bytearray()
+    previous = int.from_bytes(iv, "big")
+    encrypt_block = cipher.encrypt_block
+    from_bytes = int.from_bytes
+    for i in range(0, len(data), size):
+        block = (from_bytes(data[i : i + size], "big") ^ previous).to_bytes(
+            size, "big"
+        )
+        cipher_block = encrypt_block(block)
+        previous = from_bytes(cipher_block, "big")
+        out.extend(cipher_block)
+    return bytes(out)
+
+
+def decrypt_cbc(cipher: BlockCipher, data: bytes, iv: bytes) -> bytes:
+    _check(data, cipher.block_size)
+    size = cipher.block_size
+    if len(iv) != size:
+        raise ValueError("IV must be one block")
+    if not data:
+        return b""
+    # Decrypt the whole buffer in one pass, then XOR with the shifted
+    # ciphertext chain (iv || c_0 .. c_{n-2}) as one big-int operation.
+    plain = _decrypt_blocks(cipher, data)
+    chain = iv + data[:-size]
+    return (
+        int.from_bytes(plain, "big") ^ int.from_bytes(chain, "big")
+    ).to_bytes(len(data), "big")
+
+
+def encrypt_cbc_reference(cipher: BlockCipher, data: bytes, iv: bytes) -> bytes:
+    """Block-at-a-time oracle for :func:`encrypt_cbc`."""
+    _check(data, cipher.block_size)
+    size = cipher.block_size
+    if len(iv) != size:
+        raise ValueError("IV must be one block")
+    out = bytearray()
     previous = iv
     for i in range(0, len(data), size):
         block = bytes(a ^ b for a, b in zip(data[i : i + size], previous))
@@ -96,9 +185,12 @@ def encrypt_cbc(cipher: BlockCipher, data: bytes, iv: bytes) -> bytes:
     return bytes(out)
 
 
-def decrypt_cbc(cipher: BlockCipher, data: bytes, iv: bytes) -> bytes:
+def decrypt_cbc_reference(cipher: BlockCipher, data: bytes, iv: bytes) -> bytes:
+    """Block-at-a-time oracle for :func:`decrypt_cbc`."""
     _check(data, cipher.block_size)
     size = cipher.block_size
+    if len(iv) != size:
+        raise ValueError("IV must be one block")
     out = bytearray()
     previous = iv
     for i in range(0, len(data), size):
@@ -144,10 +236,69 @@ def _position_mask(position: int) -> bytes:
     return struct.pack(">Q", position & 0xFFFFFFFFFFFFFFFF)
 
 
+#: Memoized whole-buffer position masks.  Chunk reads re-derive the
+#: same (base position, block count) pairs on every request, so the
+#: concatenated 64-bit position words are computed once and reused;
+#: version bumps change the base position and simply mint new entries.
+_POSITION_MASKS: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+_POSITION_MASKS_SIZE = 256
+_POSITION_MASKS_LOCK = threading.Lock()
+
+_Q64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _positions_int(start_position: int, block_count: int) -> int:
+    """Big-int concatenation of the 64-bit positions of `block_count`
+    consecutive 8-byte blocks starting at `start_position`."""
+    key = (start_position, block_count)
+    with _POSITION_MASKS_LOCK:
+        mask = _POSITION_MASKS.get(key)
+        if mask is not None:
+            _POSITION_MASKS.move_to_end(key)
+            return mask
+    mask = 0
+    position = start_position
+    for _ in range(block_count):
+        mask = (mask << 64) | (position & _Q64)
+        position += 8
+    with _POSITION_MASKS_LOCK:
+        _POSITION_MASKS[key] = mask
+        while len(_POSITION_MASKS) > _POSITION_MASKS_SIZE:
+            _POSITION_MASKS.popitem(last=False)
+    return mask
+
+
 def encrypt_positioned(cipher: BlockCipher, data: bytes, start_position: int) -> bytes:
     """Encrypt ``E_k(b XOR p)`` where ``p`` is the absolute byte
     position of each block in the document (``start_position`` for the
     first block, +8 per block)."""
+    _check(data, cipher.block_size)
+    if cipher.block_size != 8:
+        return encrypt_positioned_reference(cipher, data, start_position)
+    if not data:
+        return b""
+    mask = _positions_int(start_position, len(data) // 8)
+    xored = (int.from_bytes(data, "big") ^ mask).to_bytes(len(data), "big")
+    return _encrypt_blocks(cipher, xored)
+
+
+def decrypt_positioned(cipher: BlockCipher, data: bytes, start_position: int) -> bytes:
+    """Inverse of :func:`encrypt_positioned` — any block decrypts
+    independently given its position (random access)."""
+    _check(data, cipher.block_size)
+    if cipher.block_size != 8:
+        return decrypt_positioned_reference(cipher, data, start_position)
+    if not data:
+        return b""
+    plain = _decrypt_blocks(cipher, data)
+    mask = _positions_int(start_position, len(data) // 8)
+    return (int.from_bytes(plain, "big") ^ mask).to_bytes(len(data), "big")
+
+
+def encrypt_positioned_reference(
+    cipher: BlockCipher, data: bytes, start_position: int
+) -> bytes:
+    """Block-at-a-time oracle for :func:`encrypt_positioned`."""
     _check(data, cipher.block_size)
     size = cipher.block_size
     out = bytearray()
@@ -158,9 +309,10 @@ def encrypt_positioned(cipher: BlockCipher, data: bytes, start_position: int) ->
     return bytes(out)
 
 
-def decrypt_positioned(cipher: BlockCipher, data: bytes, start_position: int) -> bytes:
-    """Inverse of :func:`encrypt_positioned` — any block decrypts
-    independently given its position (random access)."""
+def decrypt_positioned_reference(
+    cipher: BlockCipher, data: bytes, start_position: int
+) -> bytes:
+    """Block-at-a-time oracle for :func:`decrypt_positioned`."""
     _check(data, cipher.block_size)
     size = cipher.block_size
     out = bytearray()

@@ -177,7 +177,12 @@ class DecryptStreamStage(Stage):
 
 
 class EvaluateStage(Stage):
-    """Navigator -> authorized view under a compiled plan."""
+    """Navigator -> authorized view under a compiled plan.
+
+    ``prune`` turns on the evaluator's skip-pruned replay (the serving
+    hot path); it stays off by default so the paper-figure benches keep
+    their exact cold-path cost accounting.
+    """
 
     name = "evaluate"
 
@@ -186,10 +191,12 @@ class EvaluateStage(Stage):
         plan: Union[PolicyPlan, Policy],
         query: Union[str, QueryPlan, None] = None,
         use_skip_index: bool = True,
+        prune: bool = False,
     ):
         self.plan = compile_policy(plan)
         self.query = query
         self.use_skip_index = use_skip_index
+        self.prune = prune
 
     def run(self, ctx: PipelineContext) -> None:
         navigator = ctx.require("navigator", self.name)
@@ -198,6 +205,7 @@ class EvaluateStage(Stage):
             query=self.query,
             meter=ctx.meter,
             enable_skipping=self.use_skip_index,
+            enable_pruning=self.prune,
         )
         ctx.view = evaluator.run(navigator)
         ctx.meter.bytes_delivered += delivered_bytes(ctx.view)
@@ -329,11 +337,12 @@ class DocumentPipeline:
         integrity_audit: bool = False,
         serialize: bool = False,
         context: Union[str, PlatformContext] = "smartcard",
+        prune: bool = False,
     ) -> "DocumentPipeline":
         """stream-decrypt -> evaluate [-> integrity-check] [-> serialize]."""
         stages: List[Stage] = [
             DecryptStreamStage(use_skip_index),
-            EvaluateStage(plan, query, use_skip_index),
+            EvaluateStage(plan, query, use_skip_index, prune=prune),
         ]
         if integrity_audit:
             stages.append(IntegrityAuditStage())

@@ -66,12 +66,16 @@ class QueryPlan:
     many distinct queries without recompiling the policy.
     """
 
-    __slots__ = ("path", "automaton", "subject")
+    __slots__ = ("path", "automaton", "subject", "trigger_labels")
 
     def __init__(self, path: Path, automaton: Automaton, subject: str = ""):
         self.path = path
         self.automaton = automaton
         self.subject = subject
+        #: Labels that can fire any transition of the query automaton
+        #: (None when a wildcard makes every label a trigger) — feeds
+        #: the evaluator's skip-pruned replay.
+        self.trigger_labels = path.trigger_labels()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "QueryPlan(%s)" % self.path
@@ -109,6 +113,7 @@ class PolicyPlan:
         "rules",
         "automata",
         "label_sets",
+        "trigger_labels",
         "digest",
         "_queries",
         "_queries_lock",
@@ -126,6 +131,18 @@ class PolicyPlan:
         self.label_sets: Tuple[frozenset, ...] = tuple(
             rule.object.required_labels() for rule in rules
         )
+        # Union of every rule's trigger labels (None when any rule
+        # carries a wildcard): a subtree disjoint from this set can
+        # never fire a transition in any of the policy's automata, so
+        # the evaluator's skip-pruned replay may decide it wholesale.
+        trigger: Optional[frozenset] = frozenset()
+        for rule in rules:
+            rule_trigger = rule.object.trigger_labels()
+            if rule_trigger is None:
+                trigger = None
+                break
+            trigger = trigger | rule_trigger
+        self.trigger_labels = trigger
         self.digest = policy_digest(policy)
         self._queries: "OrderedDict[str, QueryPlan]" = OrderedDict()
         # One plan backs many concurrent sessions (the station shares

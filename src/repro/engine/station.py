@@ -92,6 +92,10 @@ class StationStats:
         "plan_hits",
         "plan_misses",
         "plan_evictions",
+        "view_hits",
+        "view_misses",
+        "view_evictions",
+        "view_invalidations",
         "sessions_opened",
         "requests",
         "failed_requests",
@@ -221,6 +225,32 @@ class ViewStream:
             self.chunk_count,
             ", sealed" if self.sealed else "",
         )
+
+
+class _CachedView:
+    """One materialized authorized view in the station's view cache.
+
+    Keyed by ``(document id, version, subject, policy digest, query)``
+    — the version makes the entry self-invalidating: an update bumps
+    the document version, so every stale key becomes unreachable even
+    before the eviction sweep runs.  ``events`` and ``breakdown`` are
+    shared read-only with every hit (like compiled plans, immutable by
+    convention); ``meter`` is copied per hit so callers can merge it
+    freely.  ``payload`` is the serialized view, filled lazily by the
+    first :meth:`SecureStation.stream` that needs it — after that a
+    repeat remote query is a dictionary lookup plus per-session link
+    resealing.
+    """
+
+    __slots__ = ("events", "meter", "breakdown", "payload")
+
+    def __init__(self, events, meter: Meter, breakdown):
+        # A tuple, deliberately: the entry must survive callers mutating
+        # the event list a miss or hit handed them.
+        self.events = tuple(events)
+        self.meter = meter
+        self.breakdown = breakdown
+        self.payload: Optional[bytes] = None
 
 
 class SubjectFailure:
@@ -415,6 +445,17 @@ class SecureStation:
         Capacity of the compiled-plan LRU (entries, not bytes).
     use_skip_index:
         The TCSBR/Brute-Force switch, station-wide.
+    view_cache_size:
+        Capacity of the materialized-view LRU (entries).  Entries are
+        keyed by ``(document id, version, subject, policy digest,
+        query)``; the version key plus proactive invalidation on
+        :meth:`update`/:meth:`publish` guarantee a stale view is never
+        served.  ``cache_views=False`` disables the cache (every
+        request runs the full pipeline — the cold path).
+    prune:
+        Skip-pruned replay on the serving path (see
+        :class:`~repro.accesscontrol.evaluator.StreamingEvaluator`);
+        effective only with ``use_skip_index``.
     """
 
     def __init__(
@@ -423,17 +464,28 @@ class SecureStation:
         context: Union[str, PlatformContext] = "smartcard",
         plan_cache_size: int = 32,
         use_skip_index: bool = True,
+        view_cache_size: int = 128,
+        cache_views: bool = True,
+        prune: bool = True,
     ):
         if plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
+        if view_cache_size < 1:
+            raise ValueError("view_cache_size must be >= 1")
         self._secret = master_secret
         self.platform = CONTEXTS[context] if isinstance(context, str) else context
         self.use_skip_index = use_skip_index
         self.plan_cache_size = plan_cache_size
+        self.view_cache_size = view_cache_size
+        self.cache_views = cache_views
+        self.prune = prune
         self.stats = StationStats()
         self._documents: Dict[str, Tuple[PreparedDocument, bytes]] = {}
         self._grants: Dict[Tuple[str, str], Policy] = {}
         self._plans: "OrderedDict[Tuple[str, str], PolicyPlan]" = OrderedDict()
+        self._views: "OrderedDict[Tuple[str, int, str, str, Optional[str]], _CachedView]" = (
+            OrderedDict()
+        )
         self._session_counter = 0
         self._versions: Dict[str, int] = {}
         self._listeners: List[Callable[[str, int], None]] = []
@@ -503,6 +555,8 @@ class SecureStation:
             version = max(prepared.secure.version, next_version)
             self._versions[document_id] = version
             listeners = list(self._listeners) if prior is not None else []
+            if prior is not None:
+                self._invalidate_views(document_id)
         for listener in listeners:
             listener(document_id, version)
         return prepared
@@ -675,6 +729,7 @@ class SecureStation:
                 }
                 for cache_key in [k for k in self._plans if k[0] in subjects]:
                     del self._plans[cache_key]
+                self._invalidate_views(document_id)
                 self.stats.updates += 1
                 self.stats.chunks_reencrypted += reencrypted
                 listeners = list(self._listeners)
@@ -712,25 +767,91 @@ class SecureStation:
         query=None,
     ) -> SessionResult:
         """One request: the authorized view of one document for one
-        subject (grant lookup) or explicit policy/plan."""
+        subject (grant lookup) or explicit policy/plan.
+
+        Repeat requests are served from the version-keyed view cache:
+        the SOE cost model still charges the simulated Table-1 costs of
+        the *original* evaluation (the cached meter/breakdown travel
+        with the entry), so simulated seconds are identical whether a
+        request hit or missed — only real wall-clock work disappears.
+        """
         prepared, _key, version = self._snapshot(document_id)
         if isinstance(subject_or_policy, str):
             policy = self._policy_for(document_id, subject_or_policy)
         else:
             policy = subject_or_policy
         plan = self.plan_for(policy)
+        query_plan = plan.query_plan(query)
+        cache_key = None
+        if self.cache_views:
+            cache_key = (
+                document_id,
+                version,
+                plan.subject,
+                plan.digest,
+                None if query_plan is None else str(query_plan.path),
+            )
+            with self._lock:
+                entry = self._views.get(cache_key)
+                if entry is not None:
+                    self._views.move_to_end(cache_key)
+                    self.stats.view_hits += 1
+                    self.stats.requests += 1
+                else:
+                    self.stats.view_misses += 1
+            if entry is not None:
+                # Fresh list per hit: every evaluate() has always
+                # returned a caller-owned event list, and a caller
+                # mutating it must not corrupt the cache entry.
+                result = SessionResult(
+                    list(entry.events),
+                    entry.meter.copy(),
+                    entry.breakdown,
+                    self.platform,
+                )
+                result.document_version = version
+                result.cache_hit = True
+                result.cache_entry = entry
+                return result
         with self._lock:
             self.stats.requests += 1
         pipeline = DocumentPipeline.consumer(
             plan,
-            query=plan.query_plan(query),
+            query=query_plan,
             use_skip_index=self.use_skip_index,
             context=self.platform,
+            prune=self.prune,
         )
         ctx = pipeline.run(prepared=prepared)
         result = SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.platform)
         result.document_version = version
+        if cache_key is not None:
+            entry = _CachedView(ctx.view, ctx.meter.copy(), ctx.breakdown)
+            result.cache_entry = entry
+            with self._lock:
+                self._views[cache_key] = entry
+                self._views.move_to_end(cache_key)
+                while len(self._views) > self.view_cache_size:
+                    self._views.popitem(last=False)
+                    self.stats.view_evictions += 1
         return result
+
+    def cached_views(self) -> int:
+        with self._lock:
+            return len(self._views)
+
+    def _invalidate_views(self, document_id: str) -> None:
+        """Drop every cached view of ``document_id`` (all versions).
+
+        Correctness does not depend on this — the version in the cache
+        key already makes stale entries unreachable — but dead entries
+        would otherwise squat in the LRU until churn evicts them.
+        """
+        with self._lock:
+            stale = [key for key in self._views if key[0] == document_id]
+            for key in stale:
+                del self._views[key]
+            self.stats.view_invalidations += len(stale)
 
     def stream(
         self,
@@ -741,9 +862,19 @@ class SecureStation:
         sealer=None,
     ) -> ViewStream:
         """Evaluate and hand the serialized view off for chunked
-        delivery (the network layer's entry point)."""
+        delivery (the network layer's entry point).
+
+        The serialized payload is memoized on the view-cache entry, so
+        a repeat remote query skips the NFA pass *and* serialization —
+        what remains per request is the per-session link reseal."""
         result = self.evaluate(document_id, subject_or_policy, query=query)
-        payload = serialize_events(result.events).encode("utf-8")
+        entry = result.cache_entry
+        if entry is not None and entry.payload is not None:
+            payload = entry.payload
+        else:
+            payload = serialize_events(result.events).encode("utf-8")
+            if entry is not None:
+                entry.payload = payload
         return ViewStream(result, payload, chunk_size, sealer=sealer)
 
     def evaluate_many(
@@ -813,6 +944,7 @@ class SecureStation:
                     query=plan.query_plan(query),
                     meter=meter,
                     enable_skipping=self.use_skip_index,
+                    enable_pruning=self.prune,
                 )
                 view = evaluator.run(navigator)
             except Exception as exc:

@@ -36,6 +36,7 @@ class Meter:
         "auth_pushes",  # Authorization Stack pushes
         "decisions",  # DecideNode computations
         "killed_tokens",  # tokens discarded by Skip-index filtering
+        "pruned_subtrees",  # subtrees decided wholesale by skip-pruned replay
         "skipped_subtrees",  # subtrees skipped outright (denied/irrelevant)
         "deferred_subtrees",  # pending subtrees skipped + read back later
         "readback_events",  # events re-fetched when pending parts resolve
@@ -59,6 +60,13 @@ class Meter:
     def merge(self, other: "Meter") -> None:
         for field in self.FIELDS:
             setattr(self, field, getattr(self, field) + getattr(other, field))
+
+    def copy(self) -> "Meter":
+        """A fresh plain-:class:`Meter` with the same counts."""
+        duplicate = Meter()
+        for field in self.FIELDS:
+            setattr(duplicate, field, getattr(self, field))
+        return duplicate
 
     @classmethod
     def merged(cls, meters: Iterable["Meter"]) -> "Meter":

@@ -84,6 +84,12 @@ class RemoteResult:
         return dict(self.trailer.get("meter", {}))
 
     @property
+    def cached(self) -> bool:
+        """Was this view served from the station's view cache?  (The
+        simulated :attr:`seconds` are identical either way.)"""
+        return bool(self.trailer.get("cached"))
+
+    @property
     def chunks(self) -> int:
         return int(self.trailer.get("chunks", 0))
 

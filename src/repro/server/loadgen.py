@@ -7,9 +7,20 @@ service quality — throughput (requests/s), latency percentiles
 the cost model accounts per view.  The report lands in
 ``BENCH_server.json`` (same convention as ``BENCH_engine.json``).
 
+Two workload shapes:
+
+* the default hammers one ``(subject, query)`` pair per client — the
+  repeated-query regime the station's view cache is built for;
+* ``--mix`` draws every request from a *weighted set* of (subject,
+  query) pairs and reports latency percentiles and cache-hit counts
+  **per query class**, so cache-hit-rate numbers are honest: a mixed
+  report shows exactly which classes were served hot and which cold.
+
 Run it against any live server::
 
     python -m repro.server.loadgen 127.0.0.1:8471 --clients 8 --queries 5
+    python -m repro.server.loadgen 127.0.0.1:8471 --mix "secretary:4" \\
+        --mix "doctor0:2://Folder[//Age > 60]" --mix "researcher:1"
 
 or via the CLI: ``repro loadgen 127.0.0.1:8471 ...``.
 """
@@ -19,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import random
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -28,6 +40,9 @@ from repro.server.client import RemoteError, RemoteSession
 #: Subjects granted by :func:`repro.server.service.hospital_station`.
 DEFAULT_SUBJECTS = ("secretary", "doctor0", "researcher")
 DEFAULT_DOCUMENT = "hospital"
+
+#: One weighted workload class: (subject, query or None, weight).
+MixPair = Tuple[str, Optional[str], float]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -51,8 +66,44 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+def class_label(subject: str, query: Optional[str]) -> str:
+    """Stable per-class key for the mixed-workload report."""
+    return "%s|%s" % (subject, query or "-")
+
+
+def parse_mix_spec(text: str) -> MixPair:
+    """Parse one ``subject[:weight[:query]]`` spec.
+
+    The query may contain colons of its own — only the first two are
+    separators.
+    """
+    parts = text.split(":", 2)
+    subject = parts[0].strip()
+    if not subject:
+        raise argparse.ArgumentTypeError("mix spec needs a subject: %r" % text)
+    weight = 1.0
+    if len(parts) > 1 and parts[1].strip():
+        try:
+            weight = float(parts[1])
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "mix weight must be a number, got %r" % parts[1]
+            )
+        if weight <= 0:
+            raise argparse.ArgumentTypeError("mix weight must be > 0")
+    query = parts[2].strip() if len(parts) > 2 and parts[2].strip() else None
+    return subject, query, weight
+
+
 class _Worker(threading.Thread):
-    """One client: a session issuing ``queries`` sequential requests."""
+    """One client thread.
+
+    In plain mode it opens one session as its assigned subject and
+    hammers a single (document, query) pair.  In mixed mode it opens
+    one session per distinct subject in the mix and draws every request
+    from the weighted pair set (seeded per worker, so runs are
+    reproducible).
+    """
 
     def __init__(
         self,
@@ -64,22 +115,40 @@ class _Worker(threading.Thread):
         query: Optional[str],
         connect_retry: float,
         barrier: threading.Barrier,
+        mix: Optional[Sequence[MixPair]] = None,
+        seed: int = 0,
     ):
         super().__init__(daemon=True)
         self.args = (host, port, subject, document, queries, query)
         self.connect_retry = connect_retry
         self.barrier = barrier
+        self.mix = list(mix) if mix else None
+        self.rng = random.Random(seed)
         self.latencies: List[float] = []
+        #: Parallel to ``latencies``: (class label, served-from-cache).
+        self.classes: List[Tuple[str, bool]] = []
         self.bytes_received = 0
         self.simulated_seconds = 0.0
+        self.cached_hits = 0
         self.errors: List[str] = []
+
+    def _connect_sessions(
+        self, host: str, port: int, subject: str
+    ) -> Dict[str, RemoteSession]:
+        subjects = (
+            sorted({pair[0] for pair in self.mix}) if self.mix else [subject]
+        )
+        sessions: Dict[str, RemoteSession] = {}
+        for name in subjects:
+            sessions[name] = RemoteSession(
+                host, port, name, connect_retry=self.connect_retry
+            )
+        return sessions
 
     def run(self) -> None:
         host, port, subject, document, queries, query = self.args
         try:
-            session = RemoteSession(
-                host, port, subject, connect_retry=self.connect_retry
-            )
+            sessions = self._connect_sessions(host, port, subject)
         except Exception as exc:  # noqa: BLE001 - anything must be reported
             self.errors.append("connect: %s" % exc)
             try:
@@ -87,17 +156,27 @@ class _Worker(threading.Thread):
             except threading.BrokenBarrierError:
                 pass
             return
-        with session:
+        try:
             # Start all workers' query phases together so concurrency
             # is real, not an artifact of staggered connects.
             try:
                 self.barrier.wait(timeout=30)
             except threading.BrokenBarrierError:
                 pass
+            if self.mix:
+                pairs = self.mix
+                weights = [pair[2] for pair in pairs]
             for _ in range(queries):
+                if self.mix:
+                    pick_subject, pick_query, _w = self.rng.choices(
+                        pairs, weights=weights
+                    )[0]
+                else:
+                    pick_subject, pick_query = subject, query
+                session = sessions[pick_subject]
                 start = time.perf_counter()
                 try:
-                    result = session.evaluate(document, query=query)
+                    result = session.evaluate(document, query=pick_query)
                 except RemoteError as exc:
                     self.errors.append(str(exc))
                     continue
@@ -107,8 +186,38 @@ class _Worker(threading.Thread):
                     self.errors.append("fatal: %s" % exc)
                     return
                 self.latencies.append(time.perf_counter() - start)
+                self.classes.append(
+                    (class_label(pick_subject, pick_query), result.cached)
+                )
+                if result.cached:
+                    self.cached_hits += 1
                 self.bytes_received += result.result_bytes
                 self.simulated_seconds += result.seconds
+        finally:
+            for session in sessions.values():
+                session.close()
+
+
+def _class_report(workers: Sequence[_Worker]) -> Dict[str, Dict[str, Any]]:
+    """Per-query-class latency/cache stats of a mixed run."""
+    by_class: Dict[str, Dict[str, List]] = {}
+    for worker in workers:
+        for latency, (label, cached) in zip(worker.latencies, worker.classes):
+            entry = by_class.setdefault(label, {"latencies": [], "cached": 0})
+            entry["latencies"].append(latency)
+            if cached:
+                entry["cached"] += 1
+    report = {}
+    for label, entry in sorted(by_class.items()):
+        latencies = entry["latencies"]
+        report[label] = {
+            "requests": len(latencies),
+            "cached": entry["cached"],
+            "p50_ms": round(percentile(latencies, 50) * 1000, 3),
+            "p95_ms": round(percentile(latencies, 95) * 1000, 3),
+            "mean_ms": round(sum(latencies) / len(latencies) * 1000, 3),
+        }
+    return report
 
 
 def run_load(
@@ -120,8 +229,15 @@ def run_load(
     subjects: Sequence[str] = DEFAULT_SUBJECTS,
     query: Optional[str] = None,
     connect_retry: float = 10.0,
+    mix: Optional[Sequence[MixPair]] = None,
+    seed: int = 0,
 ) -> Dict[str, Any]:
-    """N clients x M queries against ``host:port``; returns the report."""
+    """N clients x M queries against ``host:port``; returns the report.
+
+    With ``mix`` (a sequence of ``(subject, query, weight)`` triples)
+    every request is drawn from the weighted set and the report gains a
+    per-query-class breakdown.
+    """
     barrier = threading.Barrier(clients)
     workers = [
         _Worker(
@@ -133,6 +249,8 @@ def run_load(
             query,
             connect_retry,
             barrier,
+            mix=mix,
+            seed=seed * 10_007 + index,
         )
         for index in range(clients)
     ]
@@ -146,7 +264,7 @@ def run_load(
     latencies = [lat for worker in workers for lat in worker.latencies]
     errors = [err for worker in workers for err in worker.errors]
     requests = len(latencies)
-    return {
+    report = {
         "bench": "server_load",
         "address": "%s:%d" % (host, port),
         "clients": clients,
@@ -159,6 +277,7 @@ def run_load(
         "elapsed_seconds": round(elapsed, 4),
         "throughput_rps": round(requests / elapsed, 2) if elapsed else 0.0,
         "bytes_received": sum(worker.bytes_received for worker in workers),
+        "cached_hits": sum(worker.cached_hits for worker in workers),
         "simulated_soe_seconds": round(
             sum(worker.simulated_seconds for worker in workers), 4
         ),
@@ -172,6 +291,12 @@ def run_load(
             "max": round(max(latencies) * 1000 if latencies else 0.0, 3),
         },
     }
+    if mix:
+        report["mix"] = [
+            {"subject": s, "query": q, "weight": w} for s, q, w in mix
+        ]
+        report["classes"] = _class_report(workers)
+    return report
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
@@ -206,6 +331,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--query", help="optional XPath query")
     parser.add_argument(
+        "--mix",
+        action="append",
+        type=parse_mix_spec,
+        metavar="SUBJECT[:WEIGHT[:QUERY]]",
+        help="mixed workload: draw each request from this weighted set "
+        "(repeatable); the report then breaks latency and cache hits "
+        "down per query class",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="mixed-workload draw seed"
+    )
+    parser.add_argument(
         "--output", default="BENCH_server.json", help="report path"
     )
     parser.add_argument(
@@ -229,20 +366,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         subjects=tuple(args.subjects) if args.subjects else DEFAULT_SUBJECTS,
         query=args.query,
         connect_retry=args.connect_retry,
+        mix=args.mix,
+        seed=args.seed,
     )
     write_report(report, args.output)
     print(
         "%(requests)d requests from %(clients)d clients in "
         "%(elapsed_seconds).2fs -> %(throughput_rps).1f req/s, "
         % report
-        + "p50 %.1f ms, p95 %.1f ms, %d errors (report: %s)"
+        + "p50 %.1f ms, p95 %.1f ms, %d cached, %d errors (report: %s)"
         % (
             report["latency_ms"]["p50"],
             report["latency_ms"]["p95"],
+            report["cached_hits"],
             report["errors"],
             args.output,
         )
     )
+    if args.mix:
+        for label, entry in report["classes"].items():
+            print(
+                "  %-40s %4d requests, %4d cached, p50 %.1f ms, p95 %.1f ms"
+                % (
+                    label,
+                    entry["requests"],
+                    entry["cached"],
+                    entry["p50_ms"],
+                    entry["p95_ms"],
+                )
+            )
     expected = args.clients * args.queries
     return 0 if report["errors"] == 0 and report["requests"] == expected else 1
 

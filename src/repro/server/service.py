@@ -346,6 +346,12 @@ class StationServer:
             "bytes": stream.payload_bytes,
             "sealed": stream.sealed,
             "seconds": stream.result.seconds,
+            # Served from the station's version-keyed view cache?  The
+            # simulated seconds above are identical either way (the
+            # cost model charges the original evaluation); this flag is
+            # what lets clients and the load generator report honest
+            # hit rates.
+            "cached": bool(stream.result.cache_hit),
             # Stamped by the station atomically with the snapshot this
             # request evaluated — an update landing mid-evaluation
             # leaves the request on the pre-update snapshot *and* the
@@ -531,6 +537,7 @@ class StationServer:
         body = {
             "station": self.station.stats.as_dict(),
             "cached_plans": self.station.cached_plans(),
+            "cached_views": self.station.cached_views(),
             "server": dict(self.server_stats),
             "meter": {k: v for k, v in merged.as_dict().items() if v},
         }

@@ -81,6 +81,17 @@ class SkipIndexNavigator(Navigator):
     (for ablations: skipping without token filtering).
     """
 
+    __slots__ = (
+        "data",
+        "dictionary",
+        "meter",
+        "provide_meta",
+        "_offset",
+        "_stack",
+        "_root_context",
+        "_done",
+    )
+
     def __init__(
         self,
         data,

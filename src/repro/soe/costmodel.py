@@ -114,6 +114,16 @@ class TimeBreakdown:
             self.communication + self.decryption + self.access_control + self.integrity
         )
 
+    def as_dict(self) -> Dict[str, float]:
+        """Seconds per component (report/JSON form)."""
+        return {
+            "total": self.total,
+            "communication": self.communication,
+            "decryption": self.decryption,
+            "access_control": self.access_control,
+            "integrity": self.integrity,
+        }
+
     def shares(self) -> Dict[str, float]:
         """Fractions of the total per component (0 when total is 0)."""
         total = self.total

@@ -100,7 +100,11 @@ class SessionResult:
     ``document_version`` is stamped by :meth:`SecureStation.evaluate`
     with the update version of the exact snapshot evaluated (read
     atomically with the snapshot itself); ``None`` outside the station
-    path.
+    path.  ``cache_hit`` marks a result served from the station's
+    version-keyed view cache — its events/breakdown are then shared
+    read-only with the cache entry, and the meter still carries the
+    simulated Table-1 costs of the original evaluation (cached and
+    uncached responses report identical simulated seconds).
     """
 
     def __init__(
@@ -115,6 +119,11 @@ class SessionResult:
         self.breakdown = breakdown
         self.context = context
         self.document_version: Optional[int] = None
+        self.cache_hit = False
+        #: Station-internal: the view-cache entry backing this result
+        #: (lets :meth:`SecureStation.stream` reuse the serialized
+        #: payload).  ``None`` outside the station path.
+        self.cache_entry = None
 
     @property
     def seconds(self) -> float:

@@ -17,13 +17,20 @@ from repro.crypto.merkle import MerkleTree, sha1, verify_with_siblings
 from repro.crypto.modes import (
     NullCipher,
     decrypt_cbc,
+    decrypt_cbc_reference,
     decrypt_ecb,
+    decrypt_ecb_reference,
     decrypt_positioned,
+    decrypt_positioned_reference,
     encrypt_cbc,
+    encrypt_cbc_reference,
     encrypt_ecb,
+    encrypt_ecb_reference,
     encrypt_positioned,
+    encrypt_positioned_reference,
     make_iv,
     pad_to_block,
+    versioned_position,
 )
 from repro.crypto.xtea import Xtea
 from repro.metrics import Meter
@@ -144,6 +151,84 @@ class TestModes:
     def test_pad_to_block(self):
         assert pad_to_block(b"12345") == b"12345\x00\x00\x00"
         assert pad_to_block(b"12345678") == b"12345678"
+
+
+class TestVectorizedModes:
+    """The whole-buffer fast paths must agree bit-for-bit with the
+    block-at-a-time reference forms, on every cipher, for random
+    buffers, positions and document versions."""
+
+    CIPHERS = [
+        ("xtea", lambda: Xtea(KEY16)),
+        ("null", lambda: NullCipher()),
+        ("des", lambda: Des(bytes(range(8)))),
+        ("3des", lambda: TripleDes(bytes(range(24)))),
+    ]
+
+    @pytest.mark.parametrize("name", [name for name, _ in CIPHERS])
+    def test_fuzz_against_blockwise_reference(self, name):
+        factory = dict(self.CIPHERS)[name]
+        cipher = factory()
+        rng = random.Random(hash(name) & 0xFFFF)
+        for _ in range(12):
+            blocks = rng.randrange(0, 65)
+            data = bytes(rng.randrange(256) for _ in range(8 * blocks))
+            iv = bytes(rng.randrange(256) for _ in range(8))
+            position = versioned_position(
+                rng.randrange(0, 1 << 40) & ~7, rng.randrange(0, 4)
+            )
+            assert encrypt_ecb(cipher, data) == encrypt_ecb_reference(cipher, data)
+            assert decrypt_ecb(cipher, data) == decrypt_ecb_reference(cipher, data)
+            assert encrypt_cbc(cipher, data, iv) == encrypt_cbc_reference(
+                cipher, data, iv
+            )
+            assert decrypt_cbc(cipher, data, iv) == decrypt_cbc_reference(
+                cipher, data, iv
+            )
+            assert encrypt_positioned(
+                cipher, data, position
+            ) == encrypt_positioned_reference(cipher, data, position)
+            assert decrypt_positioned(
+                cipher, data, position
+            ) == decrypt_positioned_reference(cipher, data, position)
+
+    def test_round_trips_through_fast_paths(self):
+        cipher = Xtea(KEY16)
+        rng = random.Random(99)
+        for _ in range(8):
+            data = bytes(rng.randrange(256) for _ in range(8 * rng.randrange(1, 40)))
+            iv = make_iv(rng.randrange(1 << 32))
+            position = rng.randrange(0, 1 << 40) & ~7
+            assert decrypt_ecb(cipher, encrypt_ecb(cipher, data)) == data
+            assert decrypt_cbc(cipher, encrypt_cbc(cipher, data, iv), iv) == data
+            assert (
+                decrypt_positioned(
+                    cipher, encrypt_positioned(cipher, data, position), position
+                )
+                == data
+            )
+
+    def test_position_mask_cache_distinguishes_versions(self):
+        """Version-folded positions must never collide in the memoized
+        mask cache: the same offsets under different versions decrypt
+        under different masks."""
+        cipher = Xtea(KEY16)
+        data = b"A" * 64
+        v0 = encrypt_positioned(cipher, data, versioned_position(128, 0))
+        v1 = encrypt_positioned(cipher, data, versioned_position(128, 1))
+        assert v0 != v1
+        # Repeat calls hit the cache and stay deterministic.
+        assert v0 == encrypt_positioned(cipher, data, versioned_position(128, 0))
+        assert v1 == encrypt_positioned(cipher, data, versioned_position(128, 1))
+
+    def test_xtea_blocks_api_validates_length(self):
+        cipher = Xtea(KEY16)
+        with pytest.raises(ValueError):
+            cipher.encrypt_blocks(b"123")
+        with pytest.raises(ValueError):
+            cipher.decrypt_blocks(b"123")
+        assert cipher.encrypt_blocks(b"") == b""
+        assert cipher.decrypt_blocks(b"") == b""
 
 
 class TestMerkle:

@@ -70,12 +70,13 @@ def random_policy(rng: random.Random) -> Policy:
 def check_agreement(tree: Node, policy: Policy, query=None) -> None:
     reference = reference_authorized_view(tree, policy, query=query)
     events = list(tree.iter_events())
-    for label, make_navigator in [
-        ("brute-force", lambda: SimpleEventNavigator(events)),
-        ("indexed", lambda: EventListNavigator(events, provide_meta=True)),
-        ("skip-no-meta", lambda: EventListNavigator(events, provide_meta=False)),
+    for label, prune, make_navigator in [
+        ("brute-force", False, lambda: SimpleEventNavigator(events)),
+        ("indexed", False, lambda: EventListNavigator(events, provide_meta=True)),
+        ("skip-no-meta", False, lambda: EventListNavigator(events, provide_meta=False)),
+        ("skip-pruned", True, lambda: EventListNavigator(events, provide_meta=True)),
     ]:
-        evaluator = StreamingEvaluator(policy, query=query)
+        evaluator = StreamingEvaluator(policy, query=query, enable_pruning=prune)
         streamed = evaluator.run(make_navigator())
         assert streamed == reference, (
             "divergence (%s):\n  policy=%s\n  query=%s\n  doc=%s\n"
@@ -155,8 +156,14 @@ def test_fuzz_engine_path_matches_reference(seed):
         reference = reference_authorized_view(tree, policy, query=query)
         events = list(tree.iter_events())
         query_plan = plan.query_plan(query)
-        for label, with_index in [("indexed", True), ("bare", False)]:
-            evaluator = StreamingEvaluator(plan, query=query_plan)
+        for label, with_index, prune in [
+            ("indexed", True, False),
+            ("bare", False, False),
+            ("pruned", True, True),
+        ]:
+            evaluator = StreamingEvaluator(
+                plan, query=query_plan, enable_pruning=prune
+            )
             streamed = evaluator.run_events(events, with_index=with_index)
             assert streamed == reference, (
                 "engine-path divergence (%s, seed=%d):\n  policy=%s\n"
@@ -199,6 +206,48 @@ def test_fuzz_engine_batch_matches_reference():
                 "batch divergence (round %d): policy=%s"
                 % (round_index, list(policy.rules))
             )
+
+
+@pytest.mark.parametrize("scheme", ["ECB", "CBC-SHAC", "ECB-MHT"])
+def test_fuzz_station_cold_pruned_cached_identical(scheme):
+    """Random (document, policy, query) triples through the station's
+    three serving strategies — cold, skip-pruned, cache-hit — must
+    produce byte-identical serialized views on every scheme."""
+    from repro.engine import SecureStation
+    from repro.soe.session import prepare_document
+    from repro.xmlkit.parser import parse_document
+    from repro.xmlkit.serializer import serialize
+
+    rng = random.Random(hash(scheme) & 0xFFFF)
+    for round_index in range(8):
+        tree = parse_document(serialize(random_tree(rng, max_nodes=30)))
+        policy = Policy(random_policy(rng).rules, subject="fuzz")
+        query = random_path(rng) if rng.random() < 0.5 else None
+        prepared = prepare_document(tree, scheme=scheme)
+
+        cold_station = SecureStation(cache_views=False, prune=False)
+        cold_station.publish("doc", prepared)
+        cold = cold_station.evaluate("doc", policy, query=query)
+
+        pruned_station = SecureStation(cache_views=False, prune=True)
+        pruned_station.publish("doc", prepared)
+        pruned = pruned_station.evaluate("doc", policy, query=query)
+
+        cached_station = SecureStation(cache_views=True, prune=True)
+        cached_station.publish("doc", prepared)
+        cached_station.evaluate("doc", policy, query=query)
+        hit = cached_station.evaluate("doc", policy, query=query)
+
+        assert hit.cache_hit, round_index
+        cold_bytes = serialize_events(cold.events)
+        assert serialize_events(pruned.events) == cold_bytes, (
+            "pruned divergence (%s, round %d): policy=%s query=%s"
+            % (scheme, round_index, list(policy.rules), query)
+        )
+        assert serialize_events(hit.events) == cold_bytes, (
+            "cached divergence (%s, round %d): policy=%s query=%s"
+            % (scheme, round_index, list(policy.rules), query)
+        )
 
 
 # ----------------------------------------------------------------------

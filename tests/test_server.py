@@ -493,6 +493,58 @@ class TestLoadgen:
         loaded = json.loads(out.read_text())
         assert loaded["bench"] == "server_load"
 
+    def test_parse_mix_spec(self):
+        from repro.server.loadgen import parse_mix_spec
+
+        assert parse_mix_spec("secretary") == ("secretary", None, 1.0)
+        assert parse_mix_spec("doctor0:3") == ("doctor0", None, 3.0)
+        assert parse_mix_spec("researcher:2://Folder[//Age > 60]") == (
+            "researcher",
+            "//Folder[//Age > 60]",
+            2.0,
+        )
+        # Colons inside the query survive (only the first two split).
+        assert parse_mix_spec("s:1:a:b:c") == ("s", "a:b:c", 1.0)
+        import argparse
+
+        for bad in ("", ":2", "s:zero", "s:-1"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_mix_spec(bad)
+
+    def test_mixed_workload_reports_per_class(self, live_server):
+        server, host, port, subjects = live_server
+        mix = [
+            (subjects[0], None, 3.0),
+            (subjects[1], "//Folder", 1.0),
+        ]
+        report = run_load(
+            host, port, clients=2, queries=6, subjects=subjects, mix=mix, seed=5
+        )
+        assert report["requests"] == 12
+        assert report["errors"] == 0
+        classes = report["classes"]
+        assert sum(entry["requests"] for entry in classes.values()) == 12
+        # Weighted draw with seed 5 over 12 requests must exercise both
+        # classes, and repeats within a class hit the view cache.
+        assert len(classes) == 2
+        assert report["cached_hits"] == sum(
+            entry["cached"] for entry in classes.values()
+        )
+        assert report["cached_hits"] >= 12 - 2 * len(classes)
+
+    def test_mixed_workload_is_seed_reproducible(self, live_server):
+        server, host, port, subjects = live_server
+        mix = [(subjects[0], None, 1.0), (subjects[2], None, 1.0)]
+        first = run_load(
+            host, port, clients=2, queries=5, subjects=subjects, mix=mix, seed=9
+        )
+        second = run_load(
+            host, port, clients=2, queries=5, subjects=subjects, mix=mix, seed=9
+        )
+        assert {k: v["requests"] for k, v in first["classes"].items()} == {
+            k: v["requests"] for k, v in second["classes"].items()
+        }
+
 
 # ----------------------------------------------------------------------
 # CLI subcommands
