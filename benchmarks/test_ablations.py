@@ -7,15 +7,12 @@ static policy optimizer.
 """
 
 import pytest
-from conftest import print_experiment
 
 from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.accesscontrol.optimizer import optimize_policy
 from repro.crypto.chunks import ChunkLayout
-from repro.crypto.integrity import make_scheme
 from repro.metrics import Meter
 from repro.skipindex.decoder import SkipIndexNavigator
-from repro.soe.costmodel import CONTEXTS, CostModel
 from repro.soe.session import SecureSession
 from repro.accesscontrol.model import AccessRule, Policy
 

@@ -1,0 +1,78 @@
+"""Cluster load benchmark: the CI failover drill behind one gateway.
+
+Boots the in-process sharded cluster (3 backends, 2 replicas, 2
+hospital documents on distinct primaries), drives a 4-client mixed
+load through the gateway and — mid-run, once a third of the requests
+have been served — abruptly kills the primary backend of the first
+document.  The hard assertion is the cluster layer's whole promise:
+**zero failed requests**; the gateway must absorb the loss by retrying
+in-flight queries on a replica and repairing placement in the
+background.  The report (per-backend throughput and p95 skew, gateway
+failover/repair counters, final topology) lands in
+``BENCH_cluster.json``, uploaded as a CI artifact.
+"""
+
+import json
+import pathlib
+
+from repro.server.loadgen import run_cluster_load, write_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+BACKENDS = 3
+REPLICAS = 2
+CLIENTS = 4
+QUERIES = 12
+
+
+def test_cluster_failover_drill_writes_report():
+    report = run_cluster_load(
+        backends=BACKENDS,
+        replicas=REPLICAS,
+        documents=2,
+        clients=CLIENTS,
+        queries=QUERIES,
+        folders=2,
+        mix=[
+            ("secretary", None, 4.0),
+            ("doctor0", None, 2.0),
+            ("researcher", None, 1.0),
+        ],
+        seed=11,
+        kill_one=True,
+    )
+
+    # The whole point: a backend died mid-run, no client ever saw it.
+    assert report["errors"] == 0, report["error_samples"]
+    assert report["requests"] == CLIENTS * QUERIES
+    assert report["throughput_rps"] > 0
+
+    info = report["cluster"]
+    assert info["backends"] == BACKENDS
+    assert info["replicas"] == REPLICAS
+    gateway = info["gateway"]
+    assert gateway["errors"] == 0
+    if info["killed_backend"] is not None:
+        # The drill engaged: the kill must be visible in the gateway's
+        # own accounting and the dead node out of the final topology.
+        assert gateway["backends_lost"] >= 1
+        assert info["killed_after_queries"] < CLIENTS * QUERIES
+        assert info["per_backend"][info["killed_backend"]]["alive"] is False
+        for placement in info["topology"].values():
+            assert info["killed_backend"] not in placement["nodes"]
+            # Repair restored full replication on the survivors.
+            assert len(placement["nodes"]) == REPLICAS
+    # Routing spread the documents: with 2 documents on 3 backends at
+    # R=2, at least two backends served traffic.
+    served = [
+        name
+        for name, entry in info["per_backend"].items()
+        if entry.get("requests")
+    ]
+    assert len(served) >= 2
+
+    out = REPO_ROOT / "BENCH_cluster.json"
+    write_report(report, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["bench"] == "cluster_load"
+    assert loaded["cluster"]["p95_skew_ms"] >= 0

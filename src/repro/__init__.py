@@ -54,7 +54,7 @@ from repro.accesscontrol.reference import reference_authorized_view
 from repro.metrics import Meter
 from repro.skipindex.updates import UpdateOp
 from repro.xmlkit.dom import Node
-from repro.xmlkit.events import Event, events_to_tree
+from repro.xmlkit.events import Event
 
 __version__ = "1.0.0"
 

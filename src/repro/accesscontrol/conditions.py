@@ -24,7 +24,7 @@ pending parts are eventually delivered or discarded.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.accesscontrol.model import DENY, PENDING, PERMIT
 

@@ -61,7 +61,7 @@ from repro.accesscontrol.tokens import (
     TokenStack,
 )
 from repro.metrics import Meter
-from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
+from repro.xmlkit.events import OPEN, TEXT, Event
 from repro.xpath.ast import Path
 from repro.xpath.nfa import Automaton
 
@@ -239,7 +239,9 @@ class StreamingEvaluator:
                 on_close()
         return self.result.finalize()
 
-    def run_events(self, events: Sequence[Event], with_index: bool = False) -> List[Event]:
+    def run_events(
+        self, events: Sequence[Event], with_index: bool = False
+    ) -> List[Event]:
         """Convenience wrapper: evaluate an in-memory event stream.
 
         ``with_index=True`` serves exact Skip-index metadata (and
@@ -595,9 +597,13 @@ class StreamingEvaluator:
                 )
             )
 
-    def _new_instance(self, automaton_index: int, spec, depth: int) -> PredicateInstance:
+    def _new_instance(
+        self, automaton_index: int, spec, depth: int
+    ) -> PredicateInstance:
         rule = self.rules[automaton_index]
-        instance = PredicateInstance(rule.name or str(automaton_index), spec.spec_id, depth)
+        instance = PredicateInstance(
+            rule.name or str(automaton_index), spec.spec_id, depth
+        )
         self.windows.setdefault(depth, []).append(instance)
         return instance
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.metrics import Meter
-from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
+from repro.xmlkit.events import CLOSE, OPEN, Event
 
 FetchCallback = Callable[[], Sequence[Event]]
 

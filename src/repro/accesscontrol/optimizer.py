@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.accesscontrol.model import AccessRule, Policy
-from repro.xpath.containment import covers, scope_covers
+from repro.xpath.containment import scope_covers
 
 
 def deduplicate(rules: List[AccessRule]) -> List[AccessRule]:

@@ -18,13 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 from repro.accesscontrol.model import DENY, PERMIT, Policy
 from repro.xmlkit.dom import Node
 from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
-from repro.xpath.ast import (
-    AXIS_CHILD,
-    AXIS_DESCENDANT,
-    Path,
-    Predicate,
-    Step,
-)
+from repro.xpath.ast import AXIS_CHILD, Path, Predicate, Step
 from repro.xpath.parser import parse_xpath
 
 WitnessFilter = Optional[Callable[[Node], bool]]
@@ -93,7 +87,11 @@ def _eval_predicate(
 ) -> bool:
     witnesses = _eval_steps({node}, predicate.path.steps, witness_filter)
     if witness_filter is not None:
-        witnesses = {w for w in witnesses if isinstance(w, _DocumentRoot) or witness_filter(w)}
+        witnesses = {
+            w
+            for w in witnesses
+            if isinstance(w, _DocumentRoot) or witness_filter(w)
+        }
     if predicate.comparison is None:
         return bool(witnesses)
     comparison = predicate.comparison

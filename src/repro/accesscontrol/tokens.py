@@ -14,7 +14,7 @@ instance" materialization that keeps unrelated ``//`` matches apart.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.accesscontrol.conditions import PredicateInstance
 from repro.xpath.ast import Comparison

@@ -15,8 +15,8 @@ from repro.bench.workloads import Workloads
 from repro.engine.plans import compile_policy
 from repro.metrics import Meter
 from repro.skipindex.variants import encoding_report
-from repro.soe.costmodel import CONTEXTS, CostModel
-from repro.soe.session import SecureSession, lwb_bytes, lwb_seconds
+from repro.soe.costmodel import CONTEXTS
+from repro.soe.session import SecureSession, lwb_seconds
 from repro.xmlkit.serializer import serialize
 
 MB = 1_000_000.0
@@ -79,7 +79,8 @@ def table2_documents(workloads: Optional[Workloads] = None) -> Dict[str, object]
                 len(doc.distinct_tags()),
                 doc.count_text_nodes(),
                 doc.count_elements(),
-                "%s/%s d%s avg%s tags%s" % (paper[0], paper[1], paper[2], paper[3], paper[4]),
+                "%s/%s d%s avg%s tags%s"
+                % (paper[0], paper[1], paper[2], paper[3], paper[4]),
             )
         )
     return {

@@ -11,7 +11,7 @@ granularity, pending read-backs) to be visible.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.accesscontrol.model import Policy
 from repro.datasets import (

@@ -8,9 +8,11 @@ Exposes the pipeline end to end::
     python -m repro view     doc.store --key 001122... --rule "+://book" --rule "-://internal" [--query "//book[price < 20]"]
     python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12 server updates hotpath]
     python -m repro serve    --port 8471 [--hospital 3 | --store doc.store --key ... --rule ... --subject bob]
+    python -m repro cluster  --backends 3 --replicas 2 [--documents 2 --port 8470]
     python -m repro remote-view 127.0.0.1:8471 hospital --subject secretary [--query ...]
     python -m repro update   127.0.0.1:8471 hospital --subject secretary --kind update-text --path 0,1 --text "new value"
     python -m repro loadgen  127.0.0.1:8471 --clients 8 --queries 5 [--mix "subject[:weight[:query]]" ...]
+    python -m repro loadgen  --cluster 3 --replicas 2 --kill-one --output BENCH_cluster.json
 
 The protected store is a self-describing file: one JSON header line
 (scheme name, layout, plaintext size) followed by the raw terminal
@@ -292,6 +294,54 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Boot the in-process sharded cluster and serve until interrupted."""
+    import time
+
+    from repro.cluster.topology import hospital_cluster
+
+    cluster, document_ids, subjects = hospital_cluster(
+        backends=args.backends,
+        replicas=args.replicas,
+        documents=args.documents,
+        folders=args.folders,
+        context=args.context,
+        host=args.host,
+        gateway_port=args.port,
+    )
+    try:
+        host, port = cluster.gateway_address
+        print(
+            "cluster gateway on %s:%d — %d backends, R=%d (subjects: %s)"
+            % (host, port, args.backends, args.replicas, ", ".join(subjects)),
+            flush=True,
+        )
+        for name, node in sorted(cluster.nodes.items()):
+            print(
+                "  backend %-8s %s:%d" % (name, node.address[0], node.address[1]),
+                flush=True,
+            )
+        for document_id in document_ids:
+            print(
+                "  document %-12s primary=%s"
+                % (document_id, cluster.primary_of(document_id)),
+                flush=True,
+            )
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("cluster stopped", file=sys.stderr)
+    finally:
+        gateway = cluster.gateway
+        if gateway is not None:
+            print(
+                json.dumps({"gateway": dict(gateway.gateway_stats)}, indent=2),
+                file=sys.stderr,
+            )
+        cluster.stop()
+    return 0
+
+
 def cmd_remote_view(args) -> int:
     from repro.server.client import RemoteError, RemoteSession
     from repro.server.loadgen import parse_address
@@ -376,9 +426,18 @@ def cmd_update(args) -> int:
 def cmd_loadgen(args) -> int:
     from repro.server.loadgen import main as loadgen_main
 
-    argv = [args.address, "--clients", str(args.clients),
+    argv = ["--clients", str(args.clients),
             "--queries", str(args.queries), "--document", args.document,
             "--output", args.output]
+    if args.address:
+        argv.insert(0, args.address)
+    if args.cluster:
+        argv += ["--cluster", str(args.cluster),
+                 "--replicas", str(args.replicas),
+                 "--cluster-documents", str(args.cluster_documents),
+                 "--folders", str(args.folders)]
+        if args.kill_one:
+            argv += ["--kill-one"]
     for subject in args.subjects or []:
         argv += ["--subject", subject]
     if args.query:
@@ -489,6 +548,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(func=cmd_serve)
 
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="serve a sharded station cluster behind one gateway "
+        "(repro.cluster)",
+    )
+    p_cluster.add_argument(
+        "--backends", type=int, default=3, help="station backends to spawn"
+    )
+    p_cluster.add_argument(
+        "--replicas", type=int, default=2, help="copies per document"
+    )
+    p_cluster.add_argument(
+        "--documents",
+        type=int,
+        default=2,
+        help="hospital documents spread over the shards",
+    )
+    p_cluster.add_argument(
+        "--folders", type=int, default=3, help="hospital folders per document"
+    )
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument(
+        "--port",
+        type=int,
+        default=8470,
+        help="gateway port (0 binds an ephemeral port)",
+    )
+    p_cluster.add_argument(
+        "--context", default="smartcard", choices=sorted(CONTEXTS)
+    )
+    p_cluster.set_defaults(func=cmd_cluster)
+
     p_remote = sub.add_parser(
         "remote-view", help="authorized view from a running station server"
     )
@@ -533,7 +624,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_load = sub.add_parser(
         "loadgen", help="drive N clients x M queries; writes BENCH_server.json"
     )
-    p_load.add_argument("address", help="HOST:PORT")
+    p_load.add_argument(
+        "address", nargs="?", help="HOST:PORT (omit with --cluster)"
+    )
+    p_load.add_argument(
+        "--cluster",
+        type=int,
+        metavar="N",
+        help="boot an in-process N-backend cluster and load its gateway",
+    )
+    p_load.add_argument("--replicas", type=int, default=2)
+    p_load.add_argument("--cluster-documents", type=int, default=2)
+    p_load.add_argument("--folders", type=int, default=2)
+    p_load.add_argument(
+        "--kill-one",
+        action="store_true",
+        help="failover drill: kill the first document's primary mid-run",
+    )
     p_load.add_argument("--clients", type=int, default=8)
     p_load.add_argument("--queries", type=int, default=5)
     p_load.add_argument("--document", default="hospital")

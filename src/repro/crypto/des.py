@@ -142,7 +142,9 @@ _E_BYTES = _byte_tables(32, _E)
 _SP = tuple(
     tuple(
         _permute(
-            _SBOXES[box][16 * (((chunk & 0x20) >> 4) | (chunk & 1)) + ((chunk >> 1) & 0xF)]
+            _SBOXES[box][
+                16 * (((chunk & 0x20) >> 4) | (chunk & 1)) + ((chunk >> 1) & 0xF)
+            ]
             << (28 - 4 * box),
             32,
             _P,

@@ -129,7 +129,9 @@ class BaseScheme:
         raise NotImplementedError
 
     # -- digest encryption (shared) ------------------------------------
-    def _encrypt_digest(self, digest: bytes, chunk_index: int, version: int = 0) -> bytes:
+    def _encrypt_digest(
+        self, digest: bytes, chunk_index: int, version: int = 0
+    ) -> bytes:
         padded = digest + b"\x00" * (self.layout.digest_size - len(digest))
         # A distinct position space (high bit set) keeps digest blocks
         # unlinkable to payload blocks; the version folds in below it,
@@ -139,7 +141,9 @@ class BaseScheme:
         )
         return encrypt_positioned(self.cipher, padded, position)
 
-    def _decrypt_digest(self, encrypted: bytes, chunk_index: int, version: int = 0) -> bytes:
+    def _decrypt_digest(
+        self, encrypted: bytes, chunk_index: int, version: int = 0
+    ) -> bytes:
         position = versioned_position(
             (1 << 62) + chunk_index * self.layout.digest_size, version
         )
@@ -362,7 +366,14 @@ class _EcbReader(BaseReader):
             self.document.chunk_version(chunk_index),
         )
         _decrypt_block_runs(
-            self.scheme.cipher, payload, base, first, last, self.cache, self.meter, block
+            self.scheme.cipher,
+            payload,
+            base,
+            first,
+            last,
+            self.cache,
+            self.meter,
+            block,
         )
 
 

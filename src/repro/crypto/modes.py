@@ -28,7 +28,7 @@ from __future__ import annotations
 import struct
 import threading
 from collections import OrderedDict
-from typing import Protocol, Tuple
+from typing import Protocol
 
 
 class BlockCipher(Protocol):

@@ -11,7 +11,7 @@ value, and signed.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.accesscontrol.model import AccessRule, Policy
 from repro.xmlkit.dom import Node

@@ -163,7 +163,9 @@ class PolicyPlan:
     #: client queries must not grow without limit.
     QUERY_CACHE_SIZE = 32
 
-    def query_plan(self, query: Union[str, Path, QueryPlan, None]) -> Optional[QueryPlan]:
+    def query_plan(
+        self, query: Union[str, Path, QueryPlan, None]
+    ) -> Optional[QueryPlan]:
         """Compiled form of ``query``, memoized per plan (small LRU).
 
         Accepts ``None`` (no query), an already-compiled

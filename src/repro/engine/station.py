@@ -41,7 +41,12 @@ from repro.engine.pipeline import DocumentPipeline
 from repro.engine.plans import PolicyPlan, compile_policy, policy_digest
 from repro.metrics import Meter
 from repro.skipindex.decoder import SkipIndexNavigator, decode_document
-from repro.skipindex.updates import UpdateImpact, UpdateOp, impact_between, reencode_after
+from repro.skipindex.updates import (
+    UpdateImpact,
+    UpdateOp,
+    impact_between,
+    reencode_after,
+)
 from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext
 from repro.soe.session import PreparedDocument, SessionResult, delivered_bytes
 from repro.xmlkit.dom import Node
@@ -483,9 +488,9 @@ class SecureStation:
         self._documents: Dict[str, Tuple[PreparedDocument, bytes]] = {}
         self._grants: Dict[Tuple[str, str], Policy] = {}
         self._plans: "OrderedDict[Tuple[str, str], PolicyPlan]" = OrderedDict()
-        self._views: "OrderedDict[Tuple[str, int, str, str, Optional[str]], _CachedView]" = (
-            OrderedDict()
-        )
+        self._views: (
+            "OrderedDict[Tuple[str, int, str, str, Optional[str]], _CachedView]"
+        ) = OrderedDict()
         self._session_counter = 0
         self._versions: Dict[str, int] = {}
         self._listeners: List[Callable[[str, int], None]] = []
@@ -515,6 +520,7 @@ class SecureStation:
         scheme: str = "ECB-MHT",
         key: Optional[bytes] = None,
         layout: Optional[ChunkLayout] = None,
+        version_floor: int = 0,
     ) -> PreparedDocument:
         """Register a document: parse/encode/encrypt it (publisher
         pipeline) unless an already-:class:`PreparedDocument` is given.
@@ -529,12 +535,23 @@ class SecureStation:
         replay protection across generations then holds only if it was
         protected above the prior version (the station still bumps its
         version counter monotonically either way).
+
+        ``version_floor`` is the failover hook: when a cluster gateway
+        re-publishes a document onto a replacement node, the node has
+        never seen the id (its local chain would restart at 0), but
+        clients already hold version trailers from the failed primary.
+        Publishing with ``version_floor=v`` guarantees both the
+        station's version counter and (on the source-document path)
+        the encryption version start at ``v`` or above, so the PR 3
+        version chain — and with it replay protection — survives the
+        move to the new node.
         """
         if key is None:
             key = self._derive_key("document|%s" % document_id)
         with self._lock:
             prior = self._versions.get(document_id)
         next_version = 0 if prior is None else prior + 1
+        next_version = max(next_version, version_floor)
         if isinstance(document, PreparedDocument):
             prepared = document
         else:
@@ -582,7 +599,19 @@ class SecureStation:
                 raise StationError("unknown document %r" % document_id)
             return self._versions.get(document_id, 0)
 
-    def grant(self, document_id: str, policy: Policy, subject: Optional[str] = None) -> None:
+    def document_versions(self) -> Dict[str, int]:
+        """Every published document id with its current version — the
+        health-probe payload (PONG) a cluster gateway uses to verify a
+        backend is alive *and* its replicas are in version lockstep."""
+        with self._lock:
+            return {
+                document_id: self._versions.get(document_id, 0)
+                for document_id in self._documents
+            }
+
+    def grant(
+        self, document_id: str, policy: Policy, subject: Optional[str] = None
+    ) -> None:
         """Attach ``policy`` to ``(document, subject)``; the subject
         defaults to the policy's own."""
         with self._lock:

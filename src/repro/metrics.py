@@ -10,8 +10,31 @@ every one of these primitive quantities; the SOE cost model
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100]).
+
+    The smallest sample such that at least ``q`` percent of the data is
+    less than or equal to it: ``ordered[ceil(q/100 * n) - 1]``.  Linear
+    interpolation would invent latencies no request ever had and, at
+    small sample counts, report a "p99" *below* the worst observed
+    request; nearest-rank degrades honestly — with 5 samples, p99 is
+    the maximum.  Shared by the load generator's reports and the
+    cluster gateway's per-backend STATS.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100], got %r" % (q,))
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 class Meter:

@@ -27,10 +27,15 @@ from repro.server.protocol import (
     ERROR,
     HELLO,
     INVALIDATED,
+    PING,
+    PONG,
     QUERY,
+    REBALANCE,
     RESULT,
     STATS,
     STATS_REQUEST,
+    TOPOLOGY,
+    TOPOLOGY_REQUEST,
     UPDATE,
     WELCOME,
     Frame,
@@ -127,6 +132,18 @@ class RemoteSession:
         never see stale data, they just see a cheaper round-trip while
         the document is unchanged.  Off by default: benchmarks and the
         load generator must measure real server work.
+    auto_reconnect:
+        Re-dial and re-HELLO transparently when the connection drops,
+        then retry the interrupted call once from scratch.  The public
+        API is unchanged — callers still see plain ``evaluate`` /
+        ``update`` / ``stats`` — which is exactly what a session
+        pointed at a cluster gateway wants: a gateway restart (or a
+        transient network blip) costs one extra round-trip instead of
+        a dead session.  A reconnect opens a *new* server session
+        (fresh session id and link key); known document versions and
+        the client view cache carry over, so staleness tracking
+        survives the hop.  Off by default: tests asserting connection
+        errors — and anything counting sessions — must opt in.
     """
 
     def __init__(
@@ -137,25 +154,35 @@ class RemoteSession:
         timeout: float = 30.0,
         connect_retry: float = 0.0,
         cache_views: bool = False,
+        auto_reconnect: bool = False,
     ):
         self.host = host
         self.port = port
         self.subject = subject
         self._timeout = timeout
-        self._sock = self._connect((host, port), timeout, connect_retry)
-        self._sock.settimeout(timeout)
-        self._decoder = FrameDecoder()
-        self._pending: List[Frame] = []
+        self._connect_retry = connect_retry
         self._closed = False
         self._cache_views = cache_views
+        self._auto_reconnect = auto_reconnect
         self._cache: Dict[Tuple[str, Optional[str]], "RemoteResult"] = {}
         #: Latest known version per document (RESULT trailers and
         #: INVALIDATED pushes both feed it).
         self.document_versions: Dict[str, int] = {}
         #: Count of INVALIDATED pushes processed (observability/tests).
         self.invalidations_seen = 0
+        #: Count of transparent reconnects performed (observability).
+        self.reconnects = 0
+        self._dial(connect_retry)
 
-        self._send(json_frame(HELLO, 0, {"subject": subject}))
+    def _dial(self, connect_retry: float) -> None:
+        """(Re)establish the socket and the HELLO/WELCOME handshake."""
+        self._sock = self._connect(
+            (self.host, self.port), self._timeout, connect_retry
+        )
+        self._sock.settimeout(self._timeout)
+        self._decoder = FrameDecoder()
+        self._pending: List[Frame] = []
+        self._send(json_frame(HELLO, 0, {"subject": self.subject}))
         welcome = self._expect(WELCOME).json()
         self.session_id: int = welcome["session"]
         self.session_key: bytes = bytes.fromhex(welcome.get("key", ""))
@@ -167,6 +194,41 @@ class RemoteSession:
         negotiated = self.limits.get("max_payload")
         if negotiated:
             self._decoder.max_payload = int(negotiated)
+
+    def _reconnect(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        # Always allow a grace window on reconnect: the server may be
+        # mid-restart even when the initial connect needed no retry.
+        self._dial(max(self._connect_retry, 2.0))
+        self.reconnects += 1
+
+    def _with_reconnect(self, call):
+        """Run ``call()``; on a dropped connection, reconnect and retry
+        once.  Retrying from scratch is safe for every request type:
+        queries and stats are idempotent, and an update whose RESULT
+        never arrived cannot have been applied (the server writes the
+        trailer only after the swap) — except when the drop races the
+        trailer itself, which is the usual at-least-once caveat and is
+        documented on :meth:`update`."""
+        try:
+            return call()
+        except (ConnectionError, OSError) as exc:
+            # A receive *timeout* is not a dropped connection: the
+            # server may still be working on the request (a big update
+            # mid-apply), and re-sending it would duplicate the work.
+            # Only genuinely broken links are retried.
+            if isinstance(exc, socket.timeout):
+                raise
+            if not self._auto_reconnect or self._closed:
+                raise
+            try:
+                self._reconnect()
+            except OSError:
+                raise exc
+            return call()
 
     @staticmethod
     def _connect(
@@ -204,6 +266,13 @@ class RemoteSession:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached
+        return self._with_reconnect(
+            lambda: self._evaluate_once(document_id, query, key)
+        )
+
+    def _evaluate_once(
+        self, document_id: str, query: Optional[str], key
+    ) -> RemoteResult:
         self._send(
             json_frame(
                 QUERY,
@@ -243,8 +312,22 @@ class RemoteSession:
         ``op`` is an :class:`~repro.skipindex.updates.UpdateOp` or its
         ``as_dict()`` form.  Returns the server's RESULT trailer
         (new version, chunks re-encrypted, dirtied ratio, ...).
+
+        With ``auto_reconnect`` the retry semantics are at-least-once:
+        a connection lost exactly between the server applying the edit
+        and the trailer arriving leads to a second application.  Every
+        op kind is either idempotent (update-text, rename) or visibly
+        duplicated (insert), so callers needing exactly-once should
+        verify the version trailer.
         """
         body = op.as_dict() if hasattr(op, "as_dict") else dict(op)
+        return self._with_reconnect(
+            lambda: self._update_once(document_id, body)
+        )
+
+    def _update_once(
+        self, document_id: str, body: Dict[str, Any]
+    ) -> Dict[str, Any]:
         self._send(
             json_frame(
                 UPDATE,
@@ -259,10 +342,53 @@ class RemoteSession:
         return trailer
 
     def stats(self) -> Dict[str, Any]:
-        """Station + server operational counters (a STATS round-trip)."""
-        self._send(json_frame(STATS_REQUEST, self.session_id, {}))
-        frame = self._expect(STATS)
-        return frame.json()
+        """Station + server operational counters (a STATS round-trip).
+
+        Against a cluster gateway this is the *aggregated* report:
+        summed station/server counters plus a ``per_backend`` map with
+        per-node request counts, latency percentiles and liveness.
+        """
+
+        def call() -> Dict[str, Any]:
+            self._send(json_frame(STATS_REQUEST, self.session_id, {}))
+            return self._expect(STATS).json()
+
+        return self._with_reconnect(call)
+
+    def ping(self) -> Dict[str, Any]:
+        """Health probe (PING/PONG): liveness + document versions."""
+
+        def call() -> Dict[str, Any]:
+            self._send(json_frame(PING, self.session_id, {}))
+            return self._expect(PONG).json()
+
+        return self._with_reconnect(call)
+
+    def topology(self) -> Dict[str, Any]:
+        """Cluster topology (gateway only): backends, ring, placement."""
+
+        def call() -> Dict[str, Any]:
+            self._send(json_frame(TOPOLOGY_REQUEST, self.session_id, {}))
+            return self._expect(TOPOLOGY).json()
+
+        return self._with_reconnect(call)
+
+    def rebalance(
+        self, action: str, name: str, address: Optional[Tuple[str, int]] = None
+    ) -> Dict[str, Any]:
+        """Gateway admin: ``join``/``leave`` a backend on the hash ring.
+
+        Returns the gateway's RESULT trailer (documents re-placed).
+        """
+        body: Dict[str, Any] = {"action": action, "name": name}
+        if address is not None:
+            body["host"], body["port"] = address[0], int(address[1])
+
+        def call() -> Dict[str, Any]:
+            self._send(json_frame(REBALANCE, self.session_id, body))
+            return self._expect(RESULT).json()
+
+        return self._with_reconnect(call)
 
     def close(self) -> None:
         if self._closed:

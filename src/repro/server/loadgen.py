@@ -23,18 +23,32 @@ Run it against any live server::
         --mix "doctor0:2://Folder[//Age > 60]" --mix "researcher:1"
 
 or via the CLI: ``repro loadgen 127.0.0.1:8471 ...``.
+
+``--cluster N`` needs no address: it boots an in-process
+:func:`~repro.cluster.topology.hospital_cluster` (N backends, R
+replicas, K documents spread over distinct primaries by consistent
+hash), drives the load *through the gateway*, and augments the report
+with per-backend request counts and latency percentiles — the
+throughput/p95 **skew** across backends is the honest measure of how
+well the hash ring spreads the documents.  ``--kill-one`` is the
+failover drill: once a third of the requests have been served, the
+primary of the first document is killed mid-run; the run must still
+finish with zero failed requests (the gateway retries on replicas)::
+
+    python -m repro.server.loadgen --cluster 3 --replicas 2 --clients 4 \\
+        --queries 8 --kill-one --output BENCH_cluster.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import math
 import random
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.metrics import percentile
 from repro.server.client import RemoteError, RemoteSession
 
 #: Subjects granted by :func:`repro.server.service.hospital_station`.
@@ -44,26 +58,16 @@ DEFAULT_DOCUMENT = "hospital"
 #: One weighted workload class: (subject, query or None, weight).
 MixPair = Tuple[str, Optional[str], float]
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 100]).
-
-    The smallest sample such that at least ``q`` percent of the data is
-    less than or equal to it: ``ordered[ceil(q/100 * n) - 1]``.  The
-    previous linear interpolation invented latencies no request ever
-    had and, at small sample counts (clients x queries < 100), reported
-    a "p99" *below* the worst observed request; nearest-rank degrades
-    honestly — with 5 samples, p99 is the maximum.
-    """
-    if not 0 <= q <= 100:
-        raise ValueError("percentile q must be in [0, 100], got %r" % (q,))
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if q == 0:
-        return ordered[0]
-    rank = math.ceil(q / 100.0 * len(ordered))
-    return ordered[min(rank, len(ordered)) - 1]
+__all__ = [
+    "percentile",  # canonical home: repro.metrics (re-exported for API
+    # stability — the PR 3 nearest-rank switch documented it here)
+    "run_load",
+    "run_cluster_load",
+    "write_report",
+    "parse_address",
+    "parse_mix_spec",
+    "class_label",
+]
 
 
 def class_label(subject: str, query: Optional[str]) -> str:
@@ -117,12 +121,18 @@ class _Worker(threading.Thread):
         barrier: threading.Barrier,
         mix: Optional[Sequence[MixPair]] = None,
         seed: int = 0,
+        documents: Optional[Sequence[str]] = None,
+        auto_reconnect: bool = False,
     ):
         super().__init__(daemon=True)
         self.args = (host, port, subject, document, queries, query)
         self.connect_retry = connect_retry
         self.barrier = barrier
         self.mix = list(mix) if mix else None
+        #: Multi-document pool (cluster runs): each request draws its
+        #: target document uniformly, exercising every shard.
+        self.documents = list(documents) if documents else None
+        self.auto_reconnect = auto_reconnect
         self.rng = random.Random(seed)
         self.latencies: List[float] = []
         #: Parallel to ``latencies``: (class label, served-from-cache).
@@ -141,7 +151,11 @@ class _Worker(threading.Thread):
         sessions: Dict[str, RemoteSession] = {}
         for name in subjects:
             sessions[name] = RemoteSession(
-                host, port, name, connect_retry=self.connect_retry
+                host,
+                port,
+                name,
+                connect_retry=self.connect_retry,
+                auto_reconnect=self.auto_reconnect,
             )
         return sessions
 
@@ -173,10 +187,14 @@ class _Worker(threading.Thread):
                     )[0]
                 else:
                     pick_subject, pick_query = subject, query
+                if self.documents:
+                    pick_document = self.rng.choice(self.documents)
+                else:
+                    pick_document = document
                 session = sessions[pick_subject]
                 start = time.perf_counter()
                 try:
-                    result = session.evaluate(document, query=pick_query)
+                    result = session.evaluate(pick_document, query=pick_query)
                 except RemoteError as exc:
                     self.errors.append(str(exc))
                     continue
@@ -231,12 +249,16 @@ def run_load(
     connect_retry: float = 10.0,
     mix: Optional[Sequence[MixPair]] = None,
     seed: int = 0,
+    documents: Optional[Sequence[str]] = None,
+    auto_reconnect: bool = False,
 ) -> Dict[str, Any]:
     """N clients x M queries against ``host:port``; returns the report.
 
     With ``mix`` (a sequence of ``(subject, query, weight)`` triples)
     every request is drawn from the weighted set and the report gains a
-    per-query-class breakdown.
+    per-query-class breakdown.  With ``documents`` every request also
+    draws its target document uniformly from that pool (the cluster
+    regime: distinct documents live on distinct primaries).
     """
     barrier = threading.Barrier(clients)
     workers = [
@@ -251,6 +273,8 @@ def run_load(
             barrier,
             mix=mix,
             seed=seed * 10_007 + index,
+            documents=documents,
+            auto_reconnect=auto_reconnect,
         )
         for index in range(clients)
     ]
@@ -291,12 +315,126 @@ def run_load(
             "max": round(max(latencies) * 1000 if latencies else 0.0, 3),
         },
     }
+    if documents:
+        report["documents"] = list(documents)
     if mix:
         report["mix"] = [
             {"subject": s, "query": q, "weight": w} for s, q, w in mix
         ]
         report["classes"] = _class_report(workers)
     return report
+
+
+def run_cluster_load(
+    backends: int = 3,
+    replicas: int = 2,
+    documents: int = 2,
+    clients: int = 4,
+    queries: int = 6,
+    folders: int = 2,
+    subjects: Optional[Sequence[str]] = None,
+    query: Optional[str] = None,
+    mix: Optional[Sequence[MixPair]] = None,
+    seed: int = 0,
+    kill_one: bool = False,
+) -> Dict[str, Any]:
+    """Boot an in-process cluster, drive load through its gateway.
+
+    ``kill_one=True`` is the failover drill: a watcher thread waits
+    until a third of the expected requests have been answered, then
+    abruptly stops the backend that is primary for the first document
+    — mid-run, with queries in flight.  The gateway must absorb the
+    loss (retry on a replica, repair placement) without a single
+    client-visible failure; the CI smoke step asserts exactly that via
+    the zero-errors exit code.
+
+    The report is the ordinary :func:`run_load` one plus a ``cluster``
+    section: which backend was killed, the gateway counters (failovers,
+    repairs), per-backend request counts and latency percentiles, the
+    p95 skew across backends, and the final topology.
+    """
+    from repro.cluster.topology import hospital_cluster
+    from repro.server.client import RemoteSession
+
+    cluster, document_ids, default_subjects = hospital_cluster(
+        backends=backends,
+        replicas=replicas,
+        documents=documents,
+        folders=folders,
+    )
+    killed: Dict[str, Any] = {}
+    done = threading.Event()
+    killer: Optional[threading.Thread] = None
+    try:
+        host, port = cluster.gateway_address
+        if kill_one:
+            threshold = max(1, clients * queries // 3)
+
+            def kill_primary() -> None:
+                gateway = cluster.gateway
+                while not done.is_set():
+                    if gateway.gateway_stats["queries"] >= threshold:
+                        break
+                    time.sleep(0.01)
+                if done.is_set():
+                    return  # run finished before the threshold: no drill
+                target = cluster.primary_of(document_ids[0])
+                killed["backend"] = target
+                killed["after_queries"] = gateway.gateway_stats["queries"]
+                cluster.kill_backend(target)
+
+            killer = threading.Thread(target=kill_primary, daemon=True)
+            killer.start()
+        report = run_load(
+            host,
+            port,
+            clients=clients,
+            queries=queries,
+            document=document_ids[0],
+            subjects=tuple(subjects) if subjects else tuple(default_subjects),
+            query=query,
+            mix=mix,
+            seed=seed,
+            documents=document_ids,
+            auto_reconnect=True,
+        )
+        done.set()
+        if killer is not None:
+            killer.join(timeout=10)
+        with RemoteSession(host, port, "@admin", connect_retry=5.0) as admin:
+            stats = admin.stats()
+            topology = admin.topology()
+        per_backend = stats.get("per_backend", {})
+        p95s = [
+            entry["latency_ms"]["p95"]
+            for entry in per_backend.values()
+            if entry.get("requests")
+        ]
+        elapsed = report.get("elapsed_seconds") or 0.0
+        report["bench"] = "cluster_load"
+        report["cluster"] = {
+            "backends": backends,
+            "replicas": replicas,
+            "documents": document_ids,
+            "killed_backend": killed.get("backend"),
+            "killed_after_queries": killed.get("after_queries"),
+            "gateway": stats.get("gateway"),
+            "per_backend": {
+                name: dict(
+                    entry,
+                    throughput_rps=round(entry.get("requests", 0) / elapsed, 2)
+                    if elapsed
+                    else 0.0,
+                )
+                for name, entry in per_backend.items()
+            },
+            "p95_skew_ms": round(max(p95s) - min(p95s), 3) if p95s else 0.0,
+            "topology": topology.get("documents"),
+        }
+        return report
+    finally:
+        done.set()
+        cluster.stop()
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
@@ -319,7 +457,40 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.server.loadgen",
         description="concurrent load generator for the station server",
     )
-    parser.add_argument("address", type=parse_address, help="HOST:PORT")
+    parser.add_argument(
+        "address",
+        type=parse_address,
+        nargs="?",
+        help="HOST:PORT (omit with --cluster)",
+    )
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        metavar="N",
+        help="no address needed: boot an in-process N-backend cluster "
+        "and drive the load through its gateway",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2, help="copies per document (--cluster)"
+    )
+    parser.add_argument(
+        "--cluster-documents",
+        type=int,
+        default=2,
+        help="hospital documents spread over the shards (--cluster)",
+    )
+    parser.add_argument(
+        "--folders",
+        type=int,
+        default=2,
+        help="hospital folders per document (--cluster)",
+    )
+    parser.add_argument(
+        "--kill-one",
+        action="store_true",
+        help="failover drill: kill the primary of the first document "
+        "mid-run (--cluster); the run must still end with 0 errors",
+    )
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--queries", type=int, default=5, help="per client")
     parser.add_argument("--document", default=DEFAULT_DOCUMENT)
@@ -355,20 +526,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    host, port = args.address
-    report = run_load(
-        host,
-        port,
-        clients=args.clients,
-        queries=args.queries,
-        document=args.document,
-        subjects=tuple(args.subjects) if args.subjects else DEFAULT_SUBJECTS,
-        query=args.query,
-        connect_retry=args.connect_retry,
-        mix=args.mix,
-        seed=args.seed,
-    )
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cluster:
+        report = run_cluster_load(
+            backends=args.cluster,
+            replicas=args.replicas,
+            documents=args.cluster_documents,
+            clients=args.clients,
+            queries=args.queries,
+            folders=args.folders,
+            subjects=tuple(args.subjects) if args.subjects else None,
+            query=args.query,
+            mix=args.mix,
+            seed=args.seed,
+            kill_one=args.kill_one,
+        )
+    else:
+        if args.address is None:
+            parser.error("an address is required unless --cluster is given")
+        host, port = args.address
+        report = run_load(
+            host,
+            port,
+            clients=args.clients,
+            queries=args.queries,
+            document=args.document,
+            subjects=tuple(args.subjects) if args.subjects else DEFAULT_SUBJECTS,
+            query=args.query,
+            connect_retry=args.connect_retry,
+            mix=args.mix,
+            seed=args.seed,
+        )
     write_report(report, args.output)
     print(
         "%(requests)d requests from %(clients)d clients in "
@@ -393,6 +582,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                     entry["cached"],
                     entry["p50_ms"],
                     entry["p95_ms"],
+                )
+            )
+    if args.cluster:
+        info = report["cluster"]
+        gateway = info.get("gateway") or {}
+        print(
+            "  cluster: %d backends x R=%d, killed=%s, failovers=%d, "
+            "repairs=%d, p95 skew %.1f ms"
+            % (
+                info["backends"],
+                info["replicas"],
+                info.get("killed_backend") or "-",
+                gateway.get("failovers", 0),
+                gateway.get("repairs", 0),
+                info.get("p95_skew_ms", 0.0),
+            )
+        )
+        for name, entry in sorted(info["per_backend"].items()):
+            print(
+                "  %-10s %s %4d requests, %7.2f req/s, p95 %.1f ms"
+                % (
+                    name,
+                    "up  " if entry.get("alive") else "DOWN",
+                    entry.get("requests", 0),
+                    entry.get("throughput_rps", 0.0),
+                    entry.get("latency_ms", {}).get("p95", 0.0),
                 )
             )
     expected = args.clients * args.queries

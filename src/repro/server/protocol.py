@@ -11,7 +11,8 @@ speak — a fixed 11-byte header followed by an opaque payload::
     +-------+---------+------+------------+----------------+---------+
 
 Control payloads (HELLO, WELCOME, QUERY, RESULT, ERROR, STATS,
-UPDATE, INVALIDATED) are UTF-8 JSON objects; CHUNK payloads are raw
+UPDATE, INVALIDATED, and the cluster frames FORWARD, TOPOLOGY,
+REBALANCE, PING/PONG) are UTF-8 JSON objects; CHUNK payloads are raw
 bytes of the serialized authorized view (optionally sealed under the
 session link key).  INVALIDATED is the one server-*push* frame: it may
 arrive at any point in the stream (even between the CHUNKs of another
@@ -53,6 +54,17 @@ STATS = 0x08  # server -> client: {"station": ..., "server": ..., "meter": ...}
 BYE = 0x09  # client -> server: graceful close
 UPDATE = 0x0A  # client -> server: {"document": ..., "op": {...}}
 INVALIDATED = 0x0B  # server -> client (push): {"document": ..., "version": ...}
+# Cluster frames (repro.cluster).  FORWARD is the gateway -> backend
+# impersonation frame: a backend honors it only on a connection whose
+# HELLO declared {"gateway": true} (and the server was started with
+# allow_forward).  TOPOLOGY/REBALANCE are gateway control frames; PING/
+# PONG is the health probe every server answers, even before HELLO.
+FORWARD = 0x0C  # gateway -> backend: {"kind": "query"|"update", "subject": ...}
+TOPOLOGY_REQUEST = 0x0D  # client -> gateway: {}
+TOPOLOGY = 0x0E  # gateway -> client: {"backends": ..., "documents": ...}
+REBALANCE = 0x0F  # admin -> gateway: {"action": "join"|"leave", "name": ...}
+PING = 0x10  # any -> server: {}
+PONG = 0x11  # server -> any: {"ok": ..., "documents": {id: version}, ...}
 
 TYPE_NAMES = {
     HELLO: "HELLO",
@@ -66,6 +78,12 @@ TYPE_NAMES = {
     BYE: "BYE",
     UPDATE: "UPDATE",
     INVALIDATED: "INVALIDATED",
+    FORWARD: "FORWARD",
+    TOPOLOGY_REQUEST: "TOPOLOGY_REQUEST",
+    TOPOLOGY: "TOPOLOGY",
+    REBALANCE: "REBALANCE",
+    PING: "PING",
+    PONG: "PONG",
 }
 
 

@@ -53,8 +53,11 @@ from repro.server.protocol import (
     BYE,
     CHUNK,
     ERROR,
+    FORWARD,
     HELLO,
     INVALIDATED,
+    PING,
+    PONG,
     QUERY,
     RESULT,
     STATS,
@@ -86,13 +89,17 @@ SEAL_OVERHEAD = 32
 class _Connection:
     """Per-connection state living on the event loop."""
 
-    __slots__ = ("session", "meter", "queries", "peer")
+    __slots__ = ("session", "meter", "queries", "peer", "gateway")
 
     def __init__(self, peer: str):
         self.session: Optional[StationSession] = None
         self.meter = Meter()
         self.queries = 0
         self.peer = peer
+        #: Authenticated as a cluster gateway (HELLO {"gateway": true}
+        #: on a server started with ``allow_forward``)?  Only such
+        #: connections may issue FORWARD frames.
+        self.gateway = False
 
     @property
     def session_id(self) -> int:
@@ -114,6 +121,7 @@ class StationServer:
         max_payload: int = protocol.DEFAULT_MAX_PAYLOAD,
         seal: bool = False,
         allow_updates: bool = True,
+        allow_forward: bool = False,
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -137,12 +145,15 @@ class StationServer:
         self.max_payload = max_payload
         self.seal = seal
         self.allow_updates = allow_updates
+        self.allow_forward = allow_forward
         self.meter = ThreadSafeMeter()
         self.server_stats: Dict[str, int] = {
             "connections": 0,
             "active": 0,
             "queries": 0,
             "updates": 0,
+            "forwards": 0,
+            "pings": 0,
             "invalidations": 0,
             "errors": 0,
             "chunks_streamed": 0,
@@ -233,6 +244,11 @@ class StationServer:
         """Handle one frame; returns False to close the connection."""
         if frame.type == BYE:
             return False
+        if frame.type == PING:
+            # Health probes run before (or without) HELLO by design: a
+            # gateway must be able to check liveness and replica
+            # version lockstep without spending a session.
+            return await self._on_ping(conn, writer)
         if frame.type == HELLO:
             return await self._on_hello(frame, conn, writer)
         if conn.session is None:
@@ -244,6 +260,8 @@ class StationServer:
             return await self._on_query(frame, conn, writer)
         if frame.type == UPDATE:
             return await self._on_update(frame, conn, writer)
+        if frame.type == FORWARD:
+            return await self._on_forward(frame, conn, writer)
         if frame.type == STATS_REQUEST:
             return await self._on_stats(conn, writer)
         await self._send_error(
@@ -268,6 +286,7 @@ class StationServer:
                 writer, conn, E_BAD_FRAME, "HELLO payload must carry a subject"
             )
             return False
+        conn.gateway = bool(frame.json().get("gateway")) and self.allow_forward
         # The station is internally thread-safe, but connect still runs
         # off-loop: key derivation must never stall frame dispatch.
         loop = asyncio.get_running_loop()
@@ -282,6 +301,9 @@ class StationServer:
             # stands in for that channel, so the link key rides along.
             "key": conn.session.session_key.hex(),
             "seal": self.seal,
+            # Echo the accepted role so a gateway notices immediately
+            # when a backend was not started with allow_forward.
+            "gateway": conn.gateway,
             "limits": {
                 "max_payload": self.max_payload,
                 "max_queries": self.max_queries_per_session,
@@ -313,8 +335,6 @@ class StationServer:
             )
             return False
         self.server_stats["queries"] += 1
-
-        loop = asyncio.get_running_loop()
         session = conn.session
 
         def evaluate():
@@ -325,6 +345,20 @@ class StationServer:
                 seal=self.seal,
             )
 
+        return await self._run_query_stream(
+            conn, writer, evaluate, {"document": document_id}
+        )
+
+    async def _run_query_stream(
+        self,
+        conn: _Connection,
+        writer: asyncio.StreamWriter,
+        evaluate,
+        extra_trailer: Dict[str, object],
+    ) -> bool:
+        """Shared QUERY/FORWARD-query path: evaluate off-loop, stream
+        the chunks, send the RESULT trailer."""
+        loop = asyncio.get_running_loop()
         try:
             stream = await loop.run_in_executor(None, evaluate)
         except StationError as exc:
@@ -357,11 +391,11 @@ class StationServer:
             # leaves the request on the pre-update snapshot *and* the
             # pre-update version; the INVALIDATED push handles re-fetch.
             "version": stream.result.document_version,
-            "document": document_id,
             "meter": {
                 k: v for k, v in stream.result.meter.as_dict().items() if v
             },
         }
+        trailer.update(extra_trailer)
         await self._send(writer, json_frame(RESULT, conn.session_id, trailer))
         self.server_stats["chunks_streamed"] += chunks
         self.server_stats["bytes_streamed"] += sent_bytes
@@ -371,11 +405,6 @@ class StationServer:
     async def _on_update(
         self, frame: Frame, conn: _Connection, writer: asyncio.StreamWriter
     ) -> bool:
-        if not self.allow_updates:
-            await self._send_error(
-                writer, conn, E_LIMIT, "this server is read-only"
-            )
-            return True
         try:
             body = frame.json()
             document_id = body["document"]
@@ -385,6 +414,24 @@ class StationServer:
                 writer, conn, E_BAD_FRAME, "bad UPDATE frame: %s" % exc
             )
             return False
+        return await self._apply_update(
+            document_id, op, conn.session.subject, conn, writer
+        )
+
+    async def _apply_update(
+        self,
+        document_id: str,
+        op: UpdateOp,
+        subject: str,
+        conn: _Connection,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Shared UPDATE/FORWARD-update path: grant check, apply, RESULT."""
+        if not self.allow_updates:
+            await self._send_error(
+                writer, conn, E_LIMIT, "this server is read-only"
+            )
+            return True
         try:
             self.station.document_version(document_id)
         except StationError as exc:
@@ -395,13 +442,13 @@ class StationServer:
         # anything finer-grained (per-subtree write rules) would need
         # its own policy language, but an ungranted subject must never
         # be able to rewrite a document it cannot even read.
-        if not self.station.has_grant(document_id, conn.session.subject):
+        if not self.station.has_grant(document_id, subject):
             await self._send_error(
                 writer,
                 conn,
                 E_NO_GRANT,
                 "no grant for subject %r on document %r"
-                % (conn.session.subject, document_id),
+                % (subject, document_id),
             )
             return True
         loop = asyncio.get_running_loop()
@@ -426,6 +473,93 @@ class StationServer:
             "update": result.as_dict(),
         }
         await self._send(writer, json_frame(RESULT, conn.session_id, trailer))
+        return True
+
+    # ------------------------------------------------------------------
+    async def _on_forward(
+        self, frame: Frame, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Gateway impersonation: run a query/update as another subject.
+
+        Only honored on a connection whose HELLO declared
+        ``{"gateway": true}`` against a server started with
+        ``allow_forward=True`` — a plain client claiming to be a
+        gateway on a non-cluster server gets a protocol error.  The
+        response shape is exactly the QUERY/UPDATE one (CHUNK* +
+        RESULT), so the gateway can relay frames without translation;
+        forwarded views are never link-sealed (the gateway talks to its
+        own clients over its own sessions).
+        """
+        if not conn.gateway:
+            await self._send_error(
+                writer,
+                conn,
+                E_PROTOCOL,
+                "FORWARD requires a gateway session (allow_forward server)",
+            )
+            return False
+        try:
+            body = frame.json()
+            kind = body.get("kind", "query")
+            subject = str(body["subject"])
+            document_id = body["document"]
+        except (ProtocolError, KeyError):
+            await self._send_error(
+                writer,
+                conn,
+                E_BAD_FRAME,
+                "FORWARD payload must carry subject and document",
+            )
+            return False
+        self.server_stats["forwards"] += 1
+        if kind == "update":
+            try:
+                op = UpdateOp.from_dict(body.get("op") or {})
+            except UpdateError as exc:
+                await self._send_error(
+                    writer, conn, E_BAD_FRAME, "bad FORWARD op: %s" % exc
+                )
+                return False
+            return await self._apply_update(
+                document_id, op, subject, conn, writer
+            )
+        if kind != "query":
+            await self._send_error(
+                writer, conn, E_BAD_FRAME, "unknown FORWARD kind %r" % kind
+            )
+            return False
+        query = body.get("query") or None
+        # No per-session query cap on gateway links, deliberately: the
+        # gateway multiplexes many end-clients over one authenticated
+        # connection, so the cap belongs gateway-side, per end-client.
+        self.server_stats["queries"] += 1
+
+        def evaluate():
+            # Never link-sealed: the gateway terminates client sessions
+            # itself (see the class docstring).
+            return self.station.stream(
+                document_id, subject, query=query, chunk_size=self.chunk_size
+            )
+
+        return await self._run_query_stream(
+            conn,
+            writer,
+            evaluate,
+            {"document": document_id, "subject": subject},
+        )
+
+    async def _on_ping(
+        self, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Health probe: liveness plus per-document version lockstep."""
+        self.server_stats["pings"] += 1
+        body = {
+            "ok": True,
+            "role": "station",
+            "documents": self.station.document_versions(),
+            "active": self.server_stats["active"],
+        }
+        await self._send(writer, json_frame(PONG, conn.session_id, body))
         return True
 
     def _on_station_update(self, document_id: str, version: int) -> None:

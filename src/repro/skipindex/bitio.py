@@ -10,7 +10,6 @@ bytes.
 
 from __future__ import annotations
 
-from typing import List
 
 
 def bits_for(n: int) -> int:

@@ -40,7 +40,7 @@ raw bytes follow, matching the paper's size accounting.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.skipindex.bitio import BitWriter, bits_for, bits_for_count
 from repro.xmlkit.dictionary import TagDictionary
@@ -185,7 +185,9 @@ def _compute_sizes(
     def sizing_pass() -> bool:
         changed = False
 
-        def visit(elem: _Elem, parent_desc: Sequence[str], parent_size_bits: int) -> int:
+        def visit(
+            elem: _Elem, parent_desc: Sequence[str], parent_size_bits: int
+        ) -> int:
             """Return the full record size of ``elem``; update content_size."""
             code_width = bits_for_count(len(parent_desc) + 1)
             header_bits = code_width + 1  # code + internal flag
@@ -210,7 +212,9 @@ def _compute_sizes(
                         + len(text)
                     )
                 else:
-                    content += visit(item, desc, child_size_bits)  # type: ignore[arg-type]
+                    content += visit(  # type: ignore[arg-type]
+                        item, desc, child_size_bits
+                    )
             if content != elem.content_size:
                 elem.content_size = content
                 nonlocal_changed[0] = True
@@ -267,7 +271,9 @@ def _emit(
             writer.write_bytes(text)
             stats.text_bytes += len(text)
         else:
-            _emit(item, writer, desc, child_size_bits, dictionary, stats)  # type: ignore[arg-type]
+            _emit(  # type: ignore[arg-type]
+                item, writer, desc, child_size_bits, dictionary, stats
+            )
     emitted = writer.tell() - start
     if emitted != elem.content_size:
         raise AssertionError(

@@ -200,7 +200,9 @@ class UpdateOp:
 
     # -- constructors ---------------------------------------------------
     @classmethod
-    def insert(cls, path: IndexPath, node: Node, position: Optional[int] = None) -> "UpdateOp":
+    def insert(
+        cls, path: IndexPath, node: Node, position: Optional[int] = None
+    ) -> "UpdateOp":
         return cls("insert_element", path, node=node, position=position)
 
     @classmethod

@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.accesscontrol.model import AccessRule, Policy
 from repro.crypto.modes import decrypt_positioned, encrypt_positioned, pad_to_block

@@ -24,14 +24,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
-from repro.accesscontrol.model import Policy
 from repro.crypto.integrity import BaseScheme, SecureDocument, make_scheme
 from repro.crypto.chunks import ChunkLayout
 from repro.metrics import Meter
 from repro.skipindex.encoder import EncodedDocument, encode_document
 from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext, TimeBreakdown
 from repro.xmlkit.dom import Node
-from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event, events_to_tree
+from repro.xmlkit.events import OPEN, TEXT, Event, events_to_tree
 from repro.xpath.ast import Path
 
 

@@ -44,7 +44,11 @@ def _serialize_into(node: Node, parts: List[str], indent: int, level: int) -> No
     for child in node.children:
         if isinstance(child, Node) and child.tag.startswith(ATTRIBUTE_PREFIX):
             attrs.append(
-                ' %s="%s"' % (child.tag[len(ATTRIBUTE_PREFIX):], escape_attribute(child.text()))
+                ' %s="%s"'
+                % (
+                    child.tag[len(ATTRIBUTE_PREFIX) :],
+                    escape_attribute(child.text()),
+                )
             )
         else:
             regular.append(child)

@@ -22,16 +22,9 @@ The test searches for a homomorphism from ``p``'s tree pattern into
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.xpath.ast import (
-    AXIS_CHILD,
-    AXIS_DESCENDANT,
-    SELF,
-    WILDCARD,
-    Comparison,
-    Path,
-)
+from repro.xpath.ast import AXIS_DESCENDANT, WILDCARD, Comparison, Path
 
 _CHILD = 0
 _DESCENDANT = 1
@@ -80,7 +73,9 @@ def _extend(anchor: PatternNode, path: Path, mark_output: bool) -> None:
                 node.children.extend(branch_holder.children)
             elif predicate.comparison is not None:
                 # `[. op lit]`: the comparison sits on the node itself.
-                node.comparison = _merge_comparison(node.comparison, predicate.comparison)
+                node.comparison = _merge_comparison(
+                    node.comparison, predicate.comparison
+                )
         current = node
         last = node
     if mark_output and last is not None:

@@ -28,11 +28,10 @@ from this state (used by the Skip-index token filtering of Section 4.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.xpath.ast import (
     AXIS_DESCENDANT,
-    SELF,
     WILDCARD,
     Comparison,
     Path,
@@ -169,7 +168,8 @@ class Automaton:
                     str(spec.spec_id) for spec in state.anchors
                 )
             lines.append(
-                "  s%d(%s): %s%s" % (state.state_id, state.kind, " ".join(parts), suffix)
+                "  s%d(%s): %s%s"
+                % (state.state_id, state.kind, " ".join(parts), suffix)
             )
         return "\n".join(lines)
 

@@ -110,7 +110,9 @@ def _tokenize(expression: str) -> List[Token]:
                 raise XPathSyntaxError("unterminated string", expression, i)
             tokens.append((_STRING, expression[i + 1 : end], i))
             i = end + 1
-        elif ch.isdigit() or (ch == "-" and i + 1 < length and expression[i + 1].isdigit()):
+        elif ch.isdigit() or (
+            ch == "-" and i + 1 < length and expression[i + 1].isdigit()
+        ):
             i = _read_number(expression, i, tokens)
         elif ch.isalpha() or ch in "_@":
             j = i + 1
@@ -241,7 +243,9 @@ class _Parser:
             literal_token = self.advance()
             if literal_token[0] == _NAME:
                 literal: object = (
-                    USER_VARIABLE if literal_token[1] == "USER" else str(literal_token[1])
+                    USER_VARIABLE
+                    if literal_token[1] == "USER"
+                    else str(literal_token[1])
                 )
             elif literal_token[0] in (_STRING, _NUMBER):
                 literal = literal_token[1]

@@ -1,9 +1,7 @@
 """Unit tests for the Authorization Stack and DecideNode (Fig. 4)."""
 
-import pytest
 
 from repro.accesscontrol.authorization import (
-    AccessSnapshot,
     AuthorizationStack,
     combine_level,
     decide,

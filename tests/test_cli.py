@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.xmlkit.parser import parse_document
 
 DOC = "<shop><item><name>x</name><cost>5</cost></item><secret>k</secret></shop>"
 KEY = "00112233445566778899aabbccddeeff"

@@ -1,6 +1,5 @@
 """Unit tests for three-valued conditions and predicate instances."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.accesscontrol.conditions import (

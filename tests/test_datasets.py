@@ -1,6 +1,5 @@
 """Tests for the dataset generators and the Fig. 1 policies."""
 
-import pytest
 
 from repro import reference_authorized_view
 from repro.accesscontrol.evaluator import StreamingEvaluator

@@ -15,8 +15,6 @@ from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.accesscontrol.navigation import EventListNavigator, SimpleEventNavigator
 from repro.xmlkit.dom import Node
 from repro.xmlkit.serializer import serialize_events
-from repro.xpath.ast import Path
-from repro.xpath.parser import parse_xpath
 
 TAGS = ["a", "b", "c", "d", "e"]
 VALUES = ["1", "2", "3", "x"]
@@ -330,7 +328,6 @@ def test_property_idempotence(tree, policy):
     We restrict to predicate-free policies where idempotence holds
     exactly.
     """
-    from repro.xmlkit.events import events_to_tree
 
     simple_rules = [
         rule for rule in policy.rules if not rule.object.has_predicates()

@@ -4,20 +4,17 @@ Every test also checks agreement with the DOM reference oracle, so these
 double as pinned specifications of the access-control model.
 """
 
-import pytest
 
 from repro import (
     AccessRule,
     Policy,
     authorized_view,
-    evaluate_events,
     make_policy,
     reference_authorized_view,
 )
 from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.metrics import Meter
 from repro.xmlkit import parse_document, serialize_events
-from repro.xmlkit.events import events_to_tree
 
 
 def view_text(xml, rules, subject="", query=None, with_index=True, dummy=None):

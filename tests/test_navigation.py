@@ -5,10 +5,9 @@ import pytest
 from repro.accesscontrol.navigation import (
     EventListNavigator,
     SimpleEventNavigator,
-    SubtreeMeta,
 )
 from repro.metrics import Meter
-from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext, TimeBreakdown
+from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext
 from repro.xmlkit.events import CLOSE, OPEN, TEXT, Event
 from repro.xmlkit.parser import iter_events
 

@@ -1,12 +1,10 @@
 """Scenario tests pinned directly to the paper's own examples."""
 
-import pytest
 
 from repro import AccessRule, Policy, authorized_view, reference_authorized_view
 from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.metrics import Meter
 from repro.xmlkit import parse_document, serialize_events
-from repro.xmlkit.events import OPEN, TEXT
 
 
 def check(xml, rules, subject="", query=None):

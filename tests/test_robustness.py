@@ -5,9 +5,9 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import AccessRule, Policy, reference_authorized_view
+from repro import reference_authorized_view
 from repro.accesscontrol.evaluator import StreamingEvaluator
-from repro.crypto.integrity import IntegrityError, make_scheme
+from repro.crypto.integrity import make_scheme
 from repro.metrics import Meter
 from repro.skipindex.decoder import (
     SkipIndexFormatError,

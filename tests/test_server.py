@@ -12,11 +12,7 @@ import threading
 
 import pytest
 
-from repro.datasets.hospital import (
-    doctor_policy,
-    researcher_policy,
-    secretary_policy,
-)
+from repro.datasets.hospital import doctor_policy, secretary_policy
 from repro.engine import SecureStation
 from repro.metrics import Meter, ThreadSafeMeter
 from repro.server import protocol
@@ -308,7 +304,6 @@ class TestSealedLink:
 
     def test_sealed_payload_differs_on_wire(self, hospital):
         # The raw CHUNK payloads must not contain the plaintext view.
-        from repro.engine.station import seal_payload
 
         station, _subjects = hospital
         session = station.connect("secretary")

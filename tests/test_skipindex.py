@@ -243,7 +243,7 @@ class TestEvaluatorOnEncodedDocuments:
 
     @pytest.mark.parametrize("seed", range(30))
     def test_differential_encoded(self, seed):
-        from repro import Policy, reference_authorized_view
+        from repro import reference_authorized_view
         from repro.accesscontrol.evaluator import StreamingEvaluator
         from test_differential import random_policy, random_tree
 
@@ -258,7 +258,7 @@ class TestEvaluatorOnEncodedDocuments:
 
     @pytest.mark.parametrize("seed", range(30, 50))
     def test_differential_encoded_with_query(self, seed):
-        from repro import Policy, reference_authorized_view
+        from repro import reference_authorized_view
         from repro.accesscontrol.evaluator import StreamingEvaluator
         from test_differential import random_path, random_policy, random_tree
 

@@ -15,8 +15,7 @@ from repro.datasets import (
     researcher_policy,
     secretary_policy,
 )
-from repro.metrics import Meter
-from repro.soe import CONTEXTS, CostModel, SecureSession, prepare_document
+from repro.soe import SecureSession, prepare_document
 from repro.soe.session import delivered_bytes, lwb_bytes, lwb_seconds
 from repro.xmlkit.events import CLOSE, OPEN, TEXT
 

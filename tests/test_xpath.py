@@ -6,13 +6,11 @@ from repro.xpath import (
     AXIS_CHILD,
     AXIS_DESCENDANT,
     Comparison,
-    Path,
-    Step,
     XPathSyntaxError,
     compile_path,
     parse_xpath,
 )
-from repro.xpath.ast import SELF, USER_VARIABLE
+from repro.xpath.ast import USER_VARIABLE
 
 
 class TestParser:
