@@ -10,6 +10,7 @@ deterministic counters, plus byte-identical views).  Emits
 """
 
 import json
+import os
 import pathlib
 
 from repro.bench.experiments import hotpath_experiment
@@ -20,6 +21,14 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 #: serving ~6x) so a loaded CI host does not flake the guard.
 MIN_CRYPTO_SPEEDUP = 3.0
 MIN_CACHED_SPEEDUP = 3.0
+#: The C kernels vs the pure fast path on CBC (measured ~110x; the
+#: chain dependency leaves pure Python no SWAR escape, so even a
+#: heavily loaded host clears 10x).  Skipped when no compiler exists.
+MIN_NATIVE_SPEEDUP = 10.0
+#: Pool fan-out needs real cores to show a ratio; on the 1-2 core CI
+#: fallback runners the guard only requires that the pool never errors.
+MIN_POOL_SPEEDUP = 3.0
+POOL_GUARD_MIN_CORES = 4
 
 
 def test_hotpath_regression_guard():
@@ -49,6 +58,18 @@ def test_hotpath_regression_guard():
         # Pruned subtrees never reach token filtering, so the pruned
         # run kills no more tokens than the cold run.
         assert entry["pruned_killed_tokens"] <= entry["cold_killed_tokens"], entry
+
+    # -- compute backends: native kernels and pool fan-out
+    backends = report["backends"]
+    assert "pure" in backends["available"]
+    assert "pool" in backends["available"]
+    if ratios["native_vs_fast"] is not None:  # compiler present
+        assert "native" in backends["available"]
+        assert ratios["native_vs_fast"] >= MIN_NATIVE_SPEEDUP, backends["cipher"]
+    assert backends["document"]["pool_fallbacks"] == 0, backends["document"]
+    cores = os.cpu_count() or 1
+    if cores >= POOL_GUARD_MIN_CORES:
+        assert ratios["pool_vs_serial"] >= MIN_POOL_SPEEDUP, backends["document"]
 
     # -- mixed workload: per-class stats exist and add up
     mixed = report["mixed_workload"]

@@ -54,6 +54,11 @@ def main(argv) -> int:
     )
     parser.add_argument("experiments", nargs="*", metavar="experiment")
     parser.add_argument("--format", choices=FORMATS, default="table")
+    parser.add_argument(
+        "--backend",
+        choices=["pure", "native", "pool", "all", "auto"],
+        help="compute backend for the hotpath experiment",
+    )
     args = parser.parse_args(argv)
     fmt = args.format
     selected = args.experiments or list(EXPERIMENTS)
@@ -65,7 +70,10 @@ def main(argv) -> int:
     for key in selected:
         title, fn = EXPERIMENTS[key]
         start = time.time()
-        data = fn()
+        if key == "hotpath" and args.backend:
+            data = fn(backend=args.backend)
+        else:
+            data = fn()
         elapsed = time.time() - start
         if fmt == "json":
             collected[key] = json.loads(render(data, title=title, fmt="json"))

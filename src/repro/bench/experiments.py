@@ -596,6 +596,11 @@ def _crypto_microbench(buffer_bytes: int = 65536) -> List[Dict[str, object]]:
     iv = modes.make_iv(3)
     positioned = modes.encrypt_positioned(cipher, data, 0)
     chained = modes.encrypt_cbc(cipher, data, iv)
+    # The per-chunk CBC regime the schemes actually run: independent
+    # 2 KiB chains (one IV per chunk) encrypt in SWAR lockstep across
+    # chunks, unlike the single whole-buffer chain above.
+    chunk_list = [data[i : i + 2048] for i in range(0, len(data), 2048)]
+    chunk_ivs = [modes.make_iv(i) for i in range(len(chunk_list))]
     cases = [
         ("ecb-encrypt", True,
          lambda: modes.encrypt_ecb(cipher, data),
@@ -609,6 +614,9 @@ def _crypto_microbench(buffer_bytes: int = 65536) -> List[Dict[str, object]]:
         ("cbc-encrypt", False,
          lambda: modes.encrypt_cbc(cipher, data, iv),
          lambda: modes.encrypt_cbc_reference(cipher, data, iv)),
+        ("cbc-encrypt-chunked", True,
+         lambda: modes.encrypt_cbc_chunked(cipher, chunk_list, chunk_ivs),
+         lambda: modes.encrypt_cbc_chunked_reference(cipher, chunk_list, chunk_ivs)),
         ("cbc-decrypt", True,
          lambda: modes.decrypt_cbc(cipher, chained, iv),
          lambda: modes.decrypt_cbc_reference(cipher, chained, iv)),
@@ -627,6 +635,121 @@ def _crypto_microbench(buffer_bytes: int = 65536) -> List[Dict[str, object]]:
             }
         )
     return results
+
+
+def _backend_microbench(
+    buffer_bytes: int = 65536, document_bytes: int = 512 * 1024
+) -> Dict[str, object]:
+    """Compute-backend throughput: native kernels and the worker pool.
+
+    The cipher section compares the C XTEA kernels against the
+    pure-Python *fast* paths (not the block-at-a-time reference) on the
+    two bulk modes the schemes run: positioned-ECB (random-access reads)
+    and CBC (chained publish encryption).  ``native_vs_fast`` is the
+    CBC-encrypt ratio — CBC's chain dependency defeats the SWAR trick
+    entirely, so it is where moving the loop to C pays the most; the
+    positioned ratio is reported alongside it.
+    ``document.pool_vs_serial`` compares a warmed pool backend's
+    whole-document protect + decrypt round trip against the serial
+    in-process one; the serial side uses the auto backend (native when
+    available), so the ratio isolates parallelism, not C-vs-Python.
+    """
+    import random as _random
+
+    from repro.compute import (
+        PoolBackend,
+        auto_backend,
+        available_backends,
+        native_available,
+    )
+    from repro.crypto import modes
+    from repro.crypto.integrity import make_scheme
+    from repro.crypto.xtea import Xtea
+
+    rng = _random.Random(20260807)
+    data = bytes(rng.randrange(256) for _ in range(buffer_bytes))
+    iv = modes.make_iv(7)
+    pure = Xtea(bytes(range(16)))
+    pure_pos_mbps = (
+        buffer_bytes
+        / _best_seconds(lambda: modes.encrypt_positioned(pure, data, 0), repeats=3)
+        / MB
+    )
+    pure_cbc_mbps = (
+        buffer_bytes
+        / _best_seconds(lambda: modes.encrypt_cbc(pure, data, iv), repeats=3)
+        / MB
+    )
+    out: Dict[str, object] = {
+        "available": available_backends(),
+        "cipher": {
+            "mode": "cbc-encrypt",
+            "pure_mbps": round(pure_cbc_mbps, 3),
+            "positioned_pure_mbps": round(pure_pos_mbps, 3),
+        },
+    }
+    if native_available():
+        from repro.compute.native import NativeXtea
+
+        native = NativeXtea(bytes(range(16)))
+        native_pos_mbps = (
+            buffer_bytes
+            / _best_seconds(
+                lambda: modes.encrypt_positioned(native, data, 0), repeats=3
+            )
+            / MB
+        )
+        native_cbc_mbps = (
+            buffer_bytes
+            / _best_seconds(lambda: modes.encrypt_cbc(native, data, iv), repeats=3)
+            / MB
+        )
+        out["cipher"]["native_mbps"] = round(native_cbc_mbps, 3)
+        out["cipher"]["positioned_native_mbps"] = round(native_pos_mbps, 3)
+        out["cipher"]["native_vs_fast"] = (
+            round(native_cbc_mbps / pure_cbc_mbps, 2) if pure_cbc_mbps else 0.0
+        )
+        out["cipher"]["positioned_native_vs_fast"] = (
+            round(native_pos_mbps / pure_pos_mbps, 2) if pure_pos_mbps else 0.0
+        )
+
+    plaintext = bytes(rng.randrange(256) for _ in range(document_bytes))
+    serial_scheme = make_scheme("CBC-SHAC", backend=auto_backend())
+
+    def serial_round():
+        document = serial_scheme.protect(plaintext)
+        reader = serial_scheme.reader(document, Meter())
+        reader.read(0, len(plaintext))
+
+    serial_seconds = _best_seconds(serial_round, repeats=3)
+
+    pool = PoolBackend()
+    pool_scheme = make_scheme("CBC-SHAC", backend=pool)
+
+    def pool_round():
+        document = pool.protect_document(pool_scheme, plaintext, 0)
+        if document is None:  # pool declined/died: serial fallback
+            document = pool_scheme.protect(plaintext)
+        plain = pool.decrypt_document(pool_scheme, document, Meter())
+        if plain is None:
+            reader = pool_scheme.reader(document, Meter())
+            reader.read(0, len(plaintext))
+
+    pool_round()  # warm the workers: fork + schedule setup is one-time
+    pool_seconds = _best_seconds(pool_round, repeats=3)
+    out["document"] = {
+        "scheme": "CBC-SHAC",
+        "bytes": document_bytes,
+        "workers": pool.workers,
+        "serial_mbps": round(document_bytes / serial_seconds / MB, 3),
+        "pool_mbps": round(document_bytes / pool_seconds / MB, 3),
+        "pool_vs_serial": round(serial_seconds / pool_seconds, 2)
+        if pool_seconds
+        else 0.0,
+        "pool_fallbacks": pool.stats["fallbacks"],
+    }
+    pool.close()
+    return out
 
 
 def _evaluator_microbench(folders: int = 6) -> List[Dict[str, object]]:
@@ -692,20 +815,28 @@ def hotpath_experiment(
     clients: int = 4,
     queries: int = 10,
     output: Optional[str] = "BENCH_hotpath.json",
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """End-to-end hot-path profile: crypto, pruning, view cache.
 
-    Four coordinated measurements, one JSON report:
+    Five coordinated measurements, one JSON report:
 
     1. **crypto** — whole-buffer mode throughput vs the block-at-a-time
        reference (the seed path);
-    2. **evaluator** — cold vs skip-pruned replay on the hospital
+    2. **backends** — native C kernel vs the pure fast path, and a
+       warmed pool backend vs the serial whole-document round trip;
+    3. **evaluator** — cold vs skip-pruned replay on the hospital
        document (wall-clock + the deterministic pruning counters);
-    3. **station cold path** — ``SecureStation.evaluate`` with the view
+    4. **station cold path** — ``SecureStation.evaluate`` with the view
        cache off, pruning off vs on;
-    4. **serving** — the repeated-query loadgen workload against a live
+    5. **serving** — the repeated-query loadgen workload against a live
        server with the view cache off vs on (real req/s), plus a mixed
        workload on the cached server with per-class hit rates.
+
+    ``backend`` selects the station compute backend of the serving runs
+    (``"all"`` leaves serving on auto — the per-backend comparison
+    lives in the ``backends`` section either way) and is recorded in
+    the report.
 
     The paper-figure benches (fig8–fig12) are untouched by all three
     optimizations: they run ``SecureSession`` — the cold path — and
@@ -716,14 +847,18 @@ def hotpath_experiment(
     from repro.server.loadgen import run_load
     from repro.server.service import ServerThread, StationServer, hospital_station
 
+    station_backend = None if backend in (None, "all", "auto") else backend
     crypto = _crypto_microbench()
+    backends = _backend_microbench()
     evaluator = _evaluator_microbench()
 
     # --- station cold path: pruning off/on, cache off ------------------
     station_rows = []
     prune_entries: Dict[str, Dict[str, float]] = {}
     for prune in (False, True):
-        station, subjects = hospital_station(folders=folders)
+        station, subjects = hospital_station(
+            folders=folders, backend=station_backend
+        )
         station.cache_views = False
         station.prune = prune
         for subject in subjects:
@@ -746,7 +881,9 @@ def hotpath_experiment(
     # --- serving: repeated-query loadgen, cache off vs on --------------
     serving: Dict[str, object] = {}
     for label, cache in [("uncached", False), ("cached", True)]:
-        station, subjects = hospital_station(folders=folders)
+        station, subjects = hospital_station(
+            folders=folders, backend=station_backend
+        )
         station.cache_views = cache
         thread = ServerThread(StationServer(station))
         host, port = thread.start()
@@ -774,7 +911,7 @@ def hotpath_experiment(
     )
 
     # --- mixed workload on a cached server (per-class honesty) ---------
-    station, subjects = hospital_station(folders=folders)
+    station, subjects = hospital_station(folders=folders, backend=station_backend)
     thread = ServerThread(StationServer(station))
     host, port = thread.start()
     try:
@@ -804,13 +941,19 @@ def hotpath_experiment(
         "crypto_speedup_min": min(parallel_speedups),
         "prune_speedup": prune_speedup,
         "cached_speedup": round(cached_speedup, 2),
+        # Backend ratios: None when that backend cannot run here (no
+        # compiler for native); the CI guards skip accordingly.
+        "native_vs_fast": backends["cipher"].get("native_vs_fast"),
+        "pool_vs_serial": backends["document"]["pool_vs_serial"],
     }
     report = {
         "bench": "hotpath",
         "folders": folders,
         "clients": clients,
         "queries_per_client": queries,
+        "backend": backend or "auto",
         "crypto": crypto,
+        "backends": backends,
         "evaluator": evaluator,
         "station_cold_path": station_rows,
         "serving": serving,
@@ -829,6 +972,18 @@ def hotpath_experiment(
             handle.write("\n")
     rows = [
         ("crypto MB/s (min parallelizable speedup)", "x%.1f" % ratios["crypto_speedup_min"]),
+        (
+            "native kernels vs pure fast path",
+            "x%.1f (%s)"
+            % (ratios["native_vs_fast"], backends["cipher"]["mode"])
+            if ratios["native_vs_fast"] is not None
+            else "unavailable (no C compiler)",
+        ),
+        (
+            "pool vs serial whole-document",
+            "x%.2f on %d workers"
+            % (ratios["pool_vs_serial"], backends["document"]["workers"]),
+        ),
         ("station cold path (best prune speedup)", "x%.2f" % ratios["prune_speedup"]),
         (
             "serving throughput cached vs uncached",

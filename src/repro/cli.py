@@ -216,6 +216,8 @@ def cmd_bench(args) -> int:
     argv = list(args.experiments)
     if args.format != "table":
         argv += ["--format", args.format]
+    if args.backend:
+        argv += ["--backend", args.backend]
     return bench_main(argv)
 
 
@@ -231,7 +233,7 @@ def cmd_serve(args) -> int:
     if args.store:
         key = _parse_key(args.key)
         prepared = _load_store(args.store, key)
-        station = SecureStation(context=args.context)
+        station = SecureStation(context=args.context, backend=args.backend)
         document_id = args.document_id
         station.publish(document_id, prepared)
         rules = _parse_rules(args.rule or [])
@@ -243,7 +245,7 @@ def cmd_serve(args) -> int:
         subjects = [subject]
     else:
         station, subjects = hospital_station(
-            folders=args.hospital, context=args.context
+            folders=args.hospital, context=args.context, backend=args.backend
         )
         document_id = "hospital"
 
@@ -260,12 +262,13 @@ def cmd_serve(args) -> int:
     async def amain() -> None:
         host, port = await server.start()
         print(
-            "serving %r on %s:%d (subjects: %s)%s"
+            "serving %r on %s:%d (subjects: %s, backend: %s)%s"
             % (
                 document_id,
                 host,
                 port,
                 ", ".join(subjects),
+                station.backend.name,
                 " [sealed link]" if args.seal else "",
             ),
             flush=True,
@@ -285,12 +288,14 @@ def cmd_serve(args) -> int:
             "station": station.stats.as_dict(),
             "cached_plans": station.cached_plans(),
             "cached_views": station.cached_views(),
+            "backend": station.backend.describe(),
             "server": dict(server.server_stats),
             "meter": {
                 k: v for k, v in server.meter.as_dict().items() if v
             },
         }
         print(json.dumps(summary, indent=2), file=sys.stderr)
+        station.close()
     return 0
 
 
@@ -446,6 +451,8 @@ def cmd_loadgen(args) -> int:
         argv += ["--mix", spec]
     if args.seed:
         argv += ["--seed", str(args.seed)]
+    if args.backend:
+        argv += ["--backend", args.backend]
     return loadgen_main(argv)
 
 
@@ -507,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output format for the result tables",
     )
+    p_bench.add_argument(
+        "--backend",
+        choices=["pure", "native", "pool", "all", "auto"],
+        help="compute backend for the hotpath experiment "
+        "('all' measures every available one)",
+    )
     p_bench.set_defaults(func=cmd_bench)
 
     p_serve = sub.add_parser(
@@ -545,6 +558,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--readonly",
         action="store_true",
         help="refuse UPDATE frames (documents stay immutable)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=["pure", "native", "pool", "auto"],
+        default="auto",
+        help="compute backend for the crypto hot paths "
+        "(auto prefers the native C kernels when available)",
     )
     p_serve.set_defaults(func=cmd_serve)
 
@@ -657,6 +677,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_load.add_argument("--seed", type=int, default=0)
     p_load.add_argument("--output", default="BENCH_server.json")
+    p_load.add_argument(
+        "--backend",
+        choices=["pure", "native", "pool", "auto"],
+        help="compute backend of the in-process server under load "
+        "(recorded in the report)",
+    )
     p_load.set_defaults(func=cmd_loadgen)
     return parser
 

@@ -80,7 +80,7 @@ from repro.server.protocol import (
     Frame,
     FrameDecoder,
     ProtocolError,
-    encode_frame,
+    encode_frame_parts,
     json_frame,
 )
 
@@ -743,16 +743,22 @@ class ClusterGateway:
                 continue
             backend.requests += 1
             backend.latencies.append(time.perf_counter() - started)
+            # Batched zero-copy relay: each upstream CHUNK payload (a
+            # memoryview into the backend link's receive buffers) is
+            # written behind a fresh header without re-concatenation,
+            # and the whole response drains once — not per frame.
             for chunk in chunks:
-                await self._send(
-                    writer,
-                    encode_frame(
-                        CHUNK,
-                        conn.session_id,
-                        chunk,
-                        max_payload=self.max_payload,
-                    ),
+                header, payload = encode_frame_parts(
+                    CHUNK,
+                    conn.session_id,
+                    chunk,
+                    max_payload=self.max_payload,
                 )
+                writer.write(header)
+                if payload:
+                    writer.write(payload)
+            if chunks:
+                await writer.drain()
             version = trailer.get("version")
             if version is not None:
                 self._note_version(document_id, int(version))

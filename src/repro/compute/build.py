@@ -1,0 +1,47 @@
+"""Build (or probe) the native kernel library: ``python -m repro.compute.build``.
+
+The kernels otherwise compile lazily on first use; CI and packaging run
+this module as an explicit build step so a broken toolchain surfaces at
+build time, not query time.  With ``--require`` a missing/failed build
+is an error (the CI leg that *must* have native); without it the
+fallback is reported and the exit code stays 0 (the no-compiler leg).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compute.native import (
+    NO_NATIVE_ENV,
+    library_path,
+    load_library,
+    reset_native_cache,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compute.build",
+        description="compile the native crypto kernels (idempotent)",
+    )
+    parser.add_argument(
+        "--require",
+        action="store_true",
+        help="fail (exit 1) when the native kernels cannot be built",
+    )
+    args = parser.parse_args(argv)
+    reset_native_cache()
+    library = load_library()
+    if library is not None:
+        print("native kernels ready: %s" % library_path())
+        return 0
+    print(
+        "native kernels unavailable (no C compiler, build failure, or %s "
+        "set); the pure-Python backend will be used" % NO_NATIVE_ENV
+    )
+    return 1 if args.require else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Process-pool worker side of the pool compute backend.
+
+Everything here runs inside a forked worker process.  Workers never
+receive live scheme or cipher objects (ctypes arrays and backends do
+not pickle); they receive the picklable ``scheme.spec()`` tuple and
+rebuild the scheme once per (worker, spec) pair, caching the result —
+that is the "pre-forked workers holding deserialized key schedules"
+piece: the XTEA round schedule / DES subkeys are derived on first use
+and then amortized over every subsequent work unit.
+
+``REPRO_POOL_CRASH`` (checked per task, so tests can set it in the
+parent before the pool forks) makes every task kill its worker with
+``os._exit`` — the hook the degradation tests use to prove a mid-batch
+pool crash falls back to the serial path with no failed requests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.integrity import scheme_from_spec
+from repro.metrics import Meter
+
+#: Env var: when set, worker tasks exit(13) immediately (crash tests).
+POOL_CRASH_ENV = "REPRO_POOL_CRASH"
+
+_SCHEME_CACHE: Dict[tuple, object] = {}
+
+
+def _maybe_crash() -> None:
+    if os.environ.get(POOL_CRASH_ENV):
+        os._exit(13)
+
+
+def _scheme_for(spec: tuple):
+    scheme = _SCHEME_CACHE.get(spec)
+    if scheme is None:
+        scheme = scheme_from_spec(spec)
+        _SCHEME_CACHE[spec] = scheme
+    return scheme
+
+
+def init_worker() -> None:
+    """Pool initializer — a warm-up hook and a fork-sanity marker."""
+    _SCHEME_CACHE.clear()
+
+
+def protect_range(
+    spec: tuple, plaintext: bytes, first: int, last: int, version: int
+) -> bytes:
+    """The concatenated stored records of chunks ``[first, last)``."""
+    _maybe_crash()
+    scheme = _scheme_for(spec)
+    return b"".join(scheme._chunk_records(plaintext, range(first, last), version))
+
+
+def decrypt_range(
+    spec: tuple,
+    stored: bytes,
+    plaintext_size: int,
+    version: int,
+    chunk_versions: Optional[List[int]],
+    first: int,
+    last: int,
+) -> Tuple[bytes, Dict[str, int]]:
+    """Decrypt + verify the plaintext covered by chunks ``[first, last)``.
+
+    The worker gets the whole stored buffer (chunk records are
+    addressed by absolute index, so slicing would break the position
+    math) but reads — and therefore decrypts, verifies and meters —
+    only its assigned chunk range.  Returns the plaintext slice and the
+    meter counts to fold into the caller's meter.
+    """
+    _maybe_crash()
+    scheme = _scheme_for(spec)
+    from repro.crypto.integrity import SecureDocument
+
+    document = SecureDocument(
+        scheme,
+        stored,
+        plaintext_size,
+        version=version,
+        chunk_versions=chunk_versions,
+    )
+    meter = Meter()
+    reader = scheme.reader(document, meter)
+    start = first * scheme.layout.chunk_size
+    end = min(last * scheme.layout.chunk_size, plaintext_size)
+    data = reader.read(start, end - start)
+    return data, meter.as_dict()

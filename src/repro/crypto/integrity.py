@@ -31,12 +31,15 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.chunks import ChunkLayout
+from repro.crypto.des import Des, TripleDes
 from repro.crypto.merkle import HASH_SIZE, MerkleTree, sha1, verify_with_siblings
 from repro.crypto.modes import (
     BlockCipher,
+    NullCipher,
     decrypt_cbc,
     decrypt_positioned,
     encrypt_cbc,
+    encrypt_cbc_chunked,
     encrypt_positioned,
     make_iv,
     versioned_position,
@@ -115,11 +118,38 @@ class BaseScheme:
         key: bytes = b"\x00" * 16,
         cipher_factory: Callable[[bytes], BlockCipher] = Xtea,
         layout: Optional[ChunkLayout] = None,
+        backend=None,
     ):
+        self._key = key
+        self._cipher_factory = cipher_factory
+        self.backend = backend
+        if backend is not None:
+            # The backend may swap the factory for an accelerated twin
+            # (native kernels); output stays byte-identical.
+            cipher_factory = backend.cipher_factory(cipher_factory)
         self.cipher = cipher_factory(key)
         self.layout = layout if layout is not None else ChunkLayout()
         if self.cipher.block_size != self.layout.block_size:
             raise ValueError("cipher block size does not match the layout")
+
+    def spec(self):
+        """A picklable description a pool worker can rebuild the scheme
+        from (:func:`scheme_from_spec`), or ``None`` when the scheme
+        cannot be reconstructed remotely (custom cipher factory, or a
+        scheme whose chunk records are not independent)."""
+        kind = _cipher_kind(self._cipher_factory)
+        if kind is None:
+            return None
+        layout = self.layout
+        return (
+            self.name,
+            self._key,
+            kind,
+            layout.chunk_size,
+            layout.fragment_size,
+            layout.block_size,
+            layout.digest_size,
+        )
 
     # -- scheme-specific hooks -----------------------------------------
     def _encrypt_chunk(self, chunk: bytes, chunk_index: int, version: int = 0) -> bytes:
@@ -152,12 +182,28 @@ class BaseScheme:
     # -- public API -------------------------------------------------------
     def protect(self, plaintext: bytes, version: int = 0) -> SecureDocument:
         """Encrypt (and digest) ``plaintext`` for storage at the terminal."""
+        if self.backend is not None:
+            document = self.backend.protect_document(self, plaintext, version)
+            if document is not None:
+                return document
         layout = self.layout
         stored = bytearray()
         count = layout.chunk_count(len(plaintext))
-        for chunk_index in range(count):
-            stored.extend(self._chunk_record(plaintext, chunk_index, version))
+        for record in self._chunk_records(plaintext, range(count), version):
+            stored.extend(record)
         return SecureDocument(self, bytes(stored), len(plaintext), version=version)
+
+    def _chunk_records(self, plaintext: bytes, indexes, version: int):
+        """Yield the stored records for ``indexes``, in order.
+
+        The batching hook behind both serial :meth:`protect` and the
+        pool backend's work units: schemes whose chunk records are
+        independent may override it to vectorize across chunks (the CBC
+        schemes do), and a worker process calls it with just its
+        assigned index range.
+        """
+        for chunk_index in indexes:
+            yield self._chunk_record(plaintext, chunk_index, version)
 
     def _chunk_record(self, plaintext: bytes, chunk_index: int, version: int) -> bytes:
         """One stored chunk record ([digest header +] encrypted payload)."""
@@ -377,10 +423,37 @@ class _EcbReader(BaseReader):
         )
 
 
+class _CbcChunkedProtect:
+    """Vectorized protect for the per-chunk CBC schemes.
+
+    Each chunk is its own CBC chain (the IV comes from the versioned
+    chunk position), so chains are independent and can run in lockstep
+    through :func:`encrypt_cbc_chunked` — one vectorized cipher call
+    per block *step* instead of one per block.  Byte-identical to the
+    per-chunk form.
+    """
+
+    def _chunk_records(self, plaintext, indexes, version):
+        indexes = list(indexes)
+        layout = self.layout
+        chunks = []
+        for chunk_index in indexes:
+            start, end = layout.chunk_range(chunk_index, len(plaintext))
+            chunks.append(layout.pad_chunk(plaintext[start:end]))
+        ivs = [
+            make_iv(versioned_position(chunk_index, version))
+            for chunk_index in indexes
+        ]
+        cipher_chunks = encrypt_cbc_chunked(self.cipher, chunks, ivs)
+        for chunk_index, chunk, cipher_chunk in zip(indexes, chunks, cipher_chunks):
+            digest = self._chunk_digest(chunk, cipher_chunk)
+            yield self._encrypt_digest(digest, chunk_index, version) + cipher_chunk
+
+
 # ----------------------------------------------------------------------
 # CBC-SHA: CBC + digest over the plaintext chunk
 # ----------------------------------------------------------------------
-class CbcShaScheme(BaseScheme):
+class CbcShaScheme(_CbcChunkedProtect, BaseScheme):
     """CBC encryption, SHA-1 of the *plaintext* chunk (Fig. 11's
     'CBC-SHA'): every access costs a full chunk transfer + decrypt +
     hash."""
@@ -427,7 +500,7 @@ class _CbcShaReader(BaseReader):
 # ----------------------------------------------------------------------
 # CBC-SHAC: CBC + digest over the ciphertext chunk
 # ----------------------------------------------------------------------
-class CbcShacScheme(BaseScheme):
+class CbcShacScheme(_CbcChunkedProtect, BaseScheme):
     """CBC encryption, SHA-1 of the *ciphertext* chunk: the SOE checks
     integrity without decrypting the chunk (only the needed blocks)."""
 
@@ -487,6 +560,133 @@ class _CbcShacReader(BaseReader):
             self.meter.bytes_decrypted += block
             self.cache.plain[index * block : (index + 1) * block] = plain
             self.cache.have_blocks.add(index)
+
+
+# ----------------------------------------------------------------------
+# CBC-SHA-DOC: one CBC chain over the whole document (compat variant)
+# ----------------------------------------------------------------------
+class CbcShaDocScheme(BaseScheme):
+    """CBC-SHA with a single document-wide CBC chain.
+
+    The per-chunk CBC schemes restart the chain at every chunk, which
+    is what makes their encryption parallelizable; this variant keeps
+    the classic whole-document chain — chunk ``i``'s IV is the last
+    ciphertext block of chunk ``i-1`` — for interoperability with
+    stores written that way.  The price is inherent: encryption is
+    sequential (``spec()`` returns ``None`` so the pool backend leaves
+    it serial) and any update cascades re-encryption from the first
+    dirty chunk to the end of the document.
+    """
+
+    name = "CBC-SHA-DOC"
+
+    def _digest_input(self, plaintext_chunk: bytes, cipher_chunk: bytes) -> bytes:
+        return plaintext_chunk
+
+    def spec(self):
+        return None  # chunk records are chained, not independent
+
+    def _iter_records(self, plaintext: bytes, first: int, count: int,
+                      version: int, previous: bytes):
+        """Records for chunks ``[first, count)`` given the chain state
+        ``previous`` (the IV for chunk ``first``)."""
+        layout = self.layout
+        for chunk_index in range(first, count):
+            start, end = layout.chunk_range(chunk_index, len(plaintext))
+            chunk = layout.pad_chunk(plaintext[start:end])
+            cipher_chunk = encrypt_cbc(self.cipher, chunk, previous)
+            digest = self._chunk_digest(chunk, cipher_chunk)
+            yield self._encrypt_digest(digest, chunk_index, version) + cipher_chunk
+            previous = cipher_chunk[-layout.block_size :]
+
+    def protect(self, plaintext: bytes, version: int = 0) -> SecureDocument:
+        layout = self.layout
+        stored = bytearray()
+        count = layout.chunk_count(len(plaintext))
+        previous = make_iv(versioned_position(0, version))
+        for record in self._iter_records(plaintext, 0, count, version, previous):
+            stored.extend(record)
+        return SecureDocument(self, bytes(stored), len(plaintext), version=version)
+
+    def reencrypt(
+        self,
+        document: SecureDocument,
+        new_plaintext: bytes,
+        dirty_chunks: Set[int],
+        version: int,
+    ) -> Tuple[SecureDocument, int]:
+        layout = self.layout
+        record = layout.digest_size + layout.chunk_size
+        old_count = layout.chunk_count(document.plaintext_size)
+        new_count = layout.chunk_count(len(new_plaintext))
+        keep = min(old_count, new_count)
+        dirty = {index for index in dirty_chunks if 0 <= index < new_count}
+        dirty.update(range(keep, new_count))
+        # The chain makes every chunk after the first dirty one depend
+        # on re-encrypted ciphertext, so the rewrite cascades to the
+        # end of the document.
+        first = min(dirty) if dirty else new_count
+        stored = bytearray(document.stored[: first * record])
+        versions = list(document.chunk_versions[:first])
+        if first == 0:
+            previous = make_iv(versioned_position(0, version))
+        else:
+            previous = bytes(
+                document.stored[first * record - layout.block_size : first * record]
+            )
+        for rec in self._iter_records(new_plaintext, first, new_count,
+                                      version, previous):
+            stored.extend(rec)
+            versions.append(version)
+        updated = SecureDocument(
+            self,
+            bytes(stored),
+            len(new_plaintext),
+            version=version,
+            chunk_versions=versions,
+        )
+        return updated, new_count - first
+
+    def reader(self, document: SecureDocument, meter: Optional[Meter] = None):
+        return _CbcShaDocReader(
+            self, document, meter if meter is not None else Meter()
+        )
+
+
+class _CbcShaDocReader(BaseReader):
+    def _prepare_chunk(self, chunk_index: int) -> None:
+        layout = self.layout
+        version = self.document.chunk_version(chunk_index)
+        encrypted_digest, payload = self.document.chunk_record(chunk_index)
+        self.meter.bytes_transferred += layout.digest_size + layout.chunk_size
+        if chunk_index == 0:
+            iv = make_iv(
+                versioned_position(0, self.document.chunk_version(0))
+            )
+        else:
+            # The chain IV is the previous chunk's last ciphertext
+            # block, fetched from the (untrusted) store; tampering with
+            # it garbles this chunk's first block and fails the digest.
+            _prev_digest, prev_payload = self.document.chunk_record(
+                chunk_index - 1
+            )
+            iv = prev_payload[-layout.block_size :]
+            self.meter.bytes_transferred += layout.block_size
+        plain = decrypt_cbc(self.scheme.cipher, payload, iv)
+        self.meter.bytes_decrypted += layout.chunk_size
+        self.meter.bytes_hashed += layout.chunk_size
+        digest = self.scheme._decrypt_digest(
+            encrypted_digest, chunk_index, version
+        )
+        self.meter.bytes_decrypted += layout.digest_size
+        self.meter.digest_decrypts += 1
+        if sha1(plain) != digest:
+            raise IntegrityError("chunk %d digest mismatch" % chunk_index)
+        self.cache.plain = bytearray(plain)
+        self.cache.have_blocks = set(range(layout.chunk_size // layout.block_size))
+
+    def _ensure_range(self, chunk_index: int, lo: int, hi: int) -> None:
+        pass  # the whole chunk was materialized in _prepare_chunk
 
 
 # ----------------------------------------------------------------------
@@ -633,11 +833,58 @@ SCHEMES = {
     "ECB": EcbScheme,
     "CBC-SHA": CbcShaScheme,
     "CBC-SHAC": CbcShacScheme,
+    "CBC-SHA-DOC": CbcShaDocScheme,
     "ECB-MHT": EcbMhtScheme,
 }
 
+#: Cipher factories a pool worker knows how to rebuild by name.
+_CIPHER_FACTORIES = {
+    "xtea": Xtea,
+    "des": Des,
+    "3des": TripleDes,
+    "null": NullCipher,
+}
 
-def make_scheme(name: str, key: bytes = b"\x00" * 16, **kwargs) -> BaseScheme:
+
+def _cipher_kind(factory) -> Optional[str]:
+    """The spec name of a cipher factory, or ``None`` for custom ones.
+
+    Native subclasses resolve to their base kind — the worker picks its
+    own (possibly native) implementation for that kind, and all
+    implementations are byte-identical by construction.
+    """
+    if isinstance(factory, type):
+        for kind, base in _CIPHER_FACTORIES.items():
+            if issubclass(factory, base):
+                return kind
+    return None
+
+
+def scheme_from_spec(spec) -> BaseScheme:
+    """Rebuild a scheme from :meth:`BaseScheme.spec` (pool workers)."""
+    name, key, kind, chunk_size, fragment_size, block_size, digest_size = spec
+    factory = _CIPHER_FACTORIES[kind]
+    try:
+        from repro.compute.native import native_factory
+
+        factory = native_factory(factory)
+    except Exception:
+        pass
+    layout = ChunkLayout(
+        chunk_size=chunk_size,
+        fragment_size=fragment_size,
+        block_size=block_size,
+        digest_size=digest_size,
+    )
+    return make_scheme(name, key=key, cipher_factory=factory, layout=layout)
+
+
+def make_scheme(
+    name: str,
+    key: bytes = b"\x00" * 16,
+    backend=None,
+    **kwargs,
+) -> BaseScheme:
     """Factory by Fig. 11 scheme name."""
     try:
         cls = SCHEMES[name]
@@ -645,4 +892,4 @@ def make_scheme(name: str, key: bytes = b"\x00" * 16, **kwargs) -> BaseScheme:
         raise ValueError(
             "unknown scheme %r (expected one of %s)" % (name, sorted(SCHEMES))
         )
-    return cls(key=key, **kwargs)
+    return cls(key=key, backend=backend, **kwargs)

@@ -19,9 +19,43 @@ dispatch, no struct round-trips — which is what the vectorized modes in
 from __future__ import annotations
 
 import struct
+import threading
+from collections import OrderedDict
 
 _DELTA = 0x9E3779B9
 _MASK = 0xFFFFFFFF
+
+# Lane constants depend only on the block count, and buffer sizes repeat
+# heavily (every chunk of a layout has the same block count), so they
+# are memoized module-wide with a small LRU instead of being re-derived
+# by big-int division on every encrypt_blocks/decrypt_blocks call.
+_LANE_CONSTANTS: "OrderedDict[int, tuple]" = OrderedDict()
+_LANE_CONSTANTS_SIZE = 64
+_LANE_CONSTANTS_LOCK = threading.Lock()
+
+
+def _lane_constants(count: int):
+    with _LANE_CONSTANTS_LOCK:
+        cached = _LANE_CONSTANTS.get(count)
+        if cached is not None:
+            _LANE_CONSTANTS.move_to_end(count)
+            return cached
+    ones = (1 << (64 * count)) // ((1 << 64) - 1)  # 1 in every lane
+    lanes32 = _MASK * ones
+    cached = (ones, lanes32)
+    with _LANE_CONSTANTS_LOCK:
+        _LANE_CONSTANTS[count] = cached
+        while len(_LANE_CONSTANTS) > _LANE_CONSTANTS_SIZE:
+            _LANE_CONSTANTS.popitem(last=False)
+    return cached
+
+
+def lane_constants_cache_info():
+    with _LANE_CONSTANTS_LOCK:
+        return {
+            "size": len(_LANE_CONSTANTS),
+            "maxsize": _LANE_CONSTANTS_SIZE,
+        }
 
 
 class Xtea:
@@ -84,9 +118,7 @@ class Xtea:
     #   subtract   : biased by 2^37 per lane (a multiple of 2^32, so
     #                the mod-2^32 result is unchanged) to avoid borrows
     def _lane_constants(self, count: int):
-        ones = (1 << (64 * count)) // ((1 << 64) - 1)  # 1 in every lane
-        lanes32 = _MASK * ones
-        return ones, lanes32
+        return _lane_constants(count)
 
     def encrypt_blocks(self, data: bytes) -> bytes:
         """ECB-encrypt a whole multiple-of-8 buffer in one pass."""

@@ -143,15 +143,19 @@ class EncryptStage(Stage):
         key: bytes = b"\x00" * 16,
         layout: Optional[ChunkLayout] = None,
         version: int = 0,
+        backend=None,
     ):
         self.scheme = scheme
         self.key = key
         self.layout = layout
         self.version = version
+        self.backend = backend
 
     def run(self, ctx: PipelineContext) -> None:
         encoded = ctx.require("encoded", self.name)
-        scheme = make_scheme(self.scheme, key=self.key, layout=self.layout)
+        scheme = make_scheme(
+            self.scheme, key=self.key, layout=self.layout, backend=self.backend
+        )
         secure = scheme.protect(encoded.data, version=self.version)
         ctx.prepared = PreparedDocument(encoded, scheme, secure)
 
@@ -321,10 +325,15 @@ class DocumentPipeline:
         layout: Optional[ChunkLayout] = None,
         context: Union[str, PlatformContext] = "smartcard",
         version: int = 0,
+        backend=None,
     ) -> "DocumentPipeline":
         """parse -> encode -> encrypt (the publisher of Fig. 2)."""
         return cls(
-            [ParseStage(), EncodeStage(), EncryptStage(scheme, key, layout, version)],
+            [
+                ParseStage(),
+                EncodeStage(),
+                EncryptStage(scheme, key, layout, version, backend=backend),
+            ],
             context=context,
         )
 

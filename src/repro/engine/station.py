@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.accesscontrol.model import Policy
 from repro.accesscontrol.navigation import EventListNavigator
+from repro.compute import ComputeBackend, resolve_backend
 from repro.crypto.chunks import ChunkLayout
 from repro.crypto.integrity import SecureBytes
 from repro.crypto.modes import decrypt_positioned, encrypt_positioned, pad_to_block
@@ -78,7 +79,9 @@ def seal_payload(session_key: bytes, payload: bytes) -> bytes:
 def open_sealed(session_key: bytes, blob: bytes) -> bytes:
     """Inverse of :func:`seal_payload`; raises ``ValueError`` on a bad MAC."""
     cipher = Xtea(session_key)
-    body = decrypt_positioned(cipher, blob, 0)
+    # Accept memoryview blobs (the zero-copy frame decoder hands CHUNK
+    # payloads out as views into its receive buffers).
+    body = decrypt_positioned(cipher, bytes(blob), 0)
     length = int.from_bytes(body[:4], "big")
     if length > len(body) - 4:
         raise ValueError("sealed view is truncated")
@@ -461,6 +464,13 @@ class SecureStation:
         Skip-pruned replay on the serving path (see
         :class:`~repro.accesscontrol.evaluator.StreamingEvaluator`);
         effective only with ``use_skip_index``.
+    backend:
+        Compute backend for the crypto hot paths: ``"pure"``,
+        ``"native"``, ``"pool"``, ``"auto"``/``None`` (auto-detect), or
+        a :class:`~repro.compute.ComputeBackend` instance.  Every
+        backend produces byte-identical views; only speed differs, and
+        the pool backend degrades to the serial in-process path on any
+        worker failure.
     """
 
     def __init__(
@@ -472,6 +482,7 @@ class SecureStation:
         view_cache_size: int = 128,
         cache_views: bool = True,
         prune: bool = True,
+        backend: Union[None, str, ComputeBackend] = None,
     ):
         if plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
@@ -484,6 +495,7 @@ class SecureStation:
         self.view_cache_size = view_cache_size
         self.cache_views = cache_views
         self.prune = prune
+        self.backend = resolve_backend(backend)
         self.stats = StationStats()
         self._documents: Dict[str, Tuple[PreparedDocument, bytes]] = {}
         self._grants: Dict[Tuple[str, str], Policy] = {}
@@ -561,6 +573,7 @@ class SecureStation:
                 layout=layout,
                 context=self.platform,
                 version=next_version,
+                backend=self.backend,
             )
             if isinstance(document, Node):
                 ctx = pipeline.run(tree=document)
@@ -1003,9 +1016,19 @@ class SecureStation:
     ) -> List[Event]:
         """Decrypt + verify + decode the full store into an event list,
         charging every primitive cost to ``meter`` exactly once."""
-        reader = prepared.scheme.reader(prepared.secure, meter)
+        # A pool backend may decrypt + verify the whole store across
+        # workers in one shot (meter counts fold back in); it declines
+        # (None) for small documents or unsupported schemes, and any
+        # worker failure also lands here — the serial path below is the
+        # universal fallback, so a dying pool never fails a batch.
+        plain = self.backend.decrypt_document(prepared.scheme, prepared.secure, meter)
+        if plain is not None:
+            data = plain
+        else:
+            reader = prepared.scheme.reader(prepared.secure, meter)
+            data = SecureBytes(reader)
         navigator = SkipIndexNavigator(
-            SecureBytes(reader),
+            data,
             dictionary=prepared.encoded.dictionary,
             start_offset=prepared.encoded.root_offset,
             meter=meter,
@@ -1017,6 +1040,10 @@ class SecureStation:
             if item is None:
                 return events
             events.append(Event(item[0], item[1]))
+
+    def close(self) -> None:
+        """Release compute-backend resources (pool workers, if any)."""
+        self.backend.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SecureStation(%d documents, %d grants, %d cached plans)" % (

@@ -251,8 +251,13 @@ def run_load(
     seed: int = 0,
     documents: Optional[Sequence[str]] = None,
     auto_reconnect: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """N clients x M queries against ``host:port``; returns the report.
+
+    ``backend`` labels the run with the compute backend the server
+    under load was started with (``repro serve --backend ...``), so a
+    BENCH_server.json archive says which backend produced its numbers.
 
     With ``mix`` (a sequence of ``(subject, query, weight)`` triples)
     every request is drawn from the weighted set and the report gains a
@@ -315,6 +320,8 @@ def run_load(
             "max": round(max(latencies) * 1000 if latencies else 0.0, 3),
         },
     }
+    if backend:
+        report["backend"] = backend
     if documents:
         report["documents"] = list(documents)
     if mix:
@@ -522,6 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="seconds to keep retrying the initial connect",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["pure", "native", "pool", "auto"],
+        help="compute backend the target server runs (recorded in the "
+        "report so archived runs are attributable)",
+    )
     return parser
 
 
@@ -542,6 +555,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             kill_one=args.kill_one,
         )
+        if args.backend:
+            report["backend"] = args.backend
     else:
         if args.address is None:
             parser.error("an address is required unless --cluster is given")
@@ -557,6 +572,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             connect_retry=args.connect_retry,
             mix=args.mix,
             seed=args.seed,
+            backend=args.backend,
         )
     write_report(report, args.output)
     print(

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 MAGIC = 0xC5
 VERSION = 1
@@ -92,11 +93,19 @@ class ProtocolError(ValueError):
 
 
 class Frame:
-    """One decoded frame: ``(type, session, payload)``."""
+    """One decoded frame: ``(type, session, payload)``.
+
+    ``payload`` may be ``bytes`` *or* a read-only ``memoryview`` into
+    the decoder's fed buffers (the zero-copy path for CHUNK payloads).
+    Equality, hashing and :meth:`json` treat both identically; callers
+    that must outlive the frame (or concatenate) should ``bytes()`` it.
+    """
 
     __slots__ = ("type", "session", "payload")
 
-    def __init__(self, ftype: int, session: int, payload: bytes = b""):
+    def __init__(
+        self, ftype: int, session: int, payload: Union[bytes, memoryview] = b""
+    ):
         self.type = ftype
         self.session = session
         self.payload = payload
@@ -108,7 +117,7 @@ class Frame:
     def json(self) -> Dict[str, Any]:
         """Decode the payload as a JSON object."""
         try:
-            obj = json.loads(self.payload.decode("utf-8"))
+            obj = json.loads(bytes(self.payload).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(
                 "%s payload is not valid JSON: %s" % (self.type_name, exc)
@@ -138,13 +147,19 @@ class Frame:
         )
 
 
-def encode_frame(
+def encode_frame_parts(
     ftype: int,
     session: int,
-    payload: bytes = b"",
+    payload: Union[bytes, memoryview] = b"",
     max_payload: int = DEFAULT_MAX_PAYLOAD,
-) -> bytes:
-    """Serialize one frame; validates type and payload size."""
+) -> Tuple[bytes, Union[bytes, memoryview]]:
+    """Header and payload as separate buffers (the writev-style form).
+
+    A sender that calls ``write(header); write(payload)`` never copies
+    the payload into a concatenated frame — with memoryview payloads
+    the view bytes go from the source buffer straight to the socket.
+    Validation is identical to :func:`encode_frame`.
+    """
     if ftype not in TYPE_NAMES:
         raise ProtocolError("unknown frame type 0x%02x" % ftype)
     if not 0 <= session <= 0xFFFFFFFF:
@@ -154,7 +169,22 @@ def encode_frame(
             "payload of %d bytes exceeds the %d-byte frame limit"
             % (len(payload), max_payload)
         )
-    return _HEADER.pack(MAGIC, VERSION, ftype, session, len(payload)) + payload
+    return _HEADER.pack(MAGIC, VERSION, ftype, session, len(payload)), payload
+
+
+def encode_frame(
+    ftype: int,
+    session: int,
+    payload: Union[bytes, memoryview] = b"",
+    max_payload: int = DEFAULT_MAX_PAYLOAD,
+) -> bytes:
+    """Serialize one frame; validates type and payload size."""
+    header, payload = encode_frame_parts(
+        ftype, session, payload, max_payload=max_payload
+    )
+    if not isinstance(payload, bytes):
+        payload = bytes(payload)
+    return header + payload
 
 
 def json_frame(
@@ -176,17 +206,32 @@ class FrameDecoder:
     buffered until the rest arrives.  Validation happens as soon as the
     header is complete, so an oversized length field is rejected before
     any payload is buffered.
+
+    The buffer is **zero-copy**: fed slices are kept as-is in a deque
+    (never concatenated into a growing bytearray), headers are unpacked
+    in place, and a payload fully contained in one fed slice is handed
+    out as a ``memoryview`` into it — the common case on the serving
+    path, where one socket read carries one CHUNK frame.  Only a
+    payload *spanning* fed slices is joined (one copy, unavoidable).
+    A memoryview payload pins its source slice until the caller drops
+    the frame; ``bytes(frame.payload)`` detaches it.
     """
 
     def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD):
         self.max_payload = max_payload
-        self._buffer = bytearray()
+        self._chunks: Deque[bytes] = deque()
+        self._offset = 0  # consumed prefix of _chunks[0]
+        self._pending = 0  # unconsumed bytes across all chunks
         self._dead: Optional[ProtocolError] = None
 
     def feed(self, data: bytes) -> List[Frame]:
         if self._dead is not None:
             raise self._dead
-        self._buffer.extend(data)
+        if data:
+            if not isinstance(data, bytes):
+                data = bytes(data)  # keep fed slices immutable
+            self._chunks.append(data)
+            self._pending += len(data)
         frames: List[Frame] = []
         while True:
             frame = self._next_frame()
@@ -195,9 +240,9 @@ class FrameDecoder:
             frames.append(frame)
 
     def _next_frame(self) -> Optional[Frame]:
-        if len(self._buffer) < HEADER_SIZE:
+        if self._pending < HEADER_SIZE:
             return None
-        magic, version, ftype, session, length = _HEADER.unpack_from(self._buffer)
+        magic, version, ftype, session, length = self._peek_header()
         if magic != MAGIC:
             raise self._fail("bad magic byte 0x%02x" % magic)
         if version != VERSION:
@@ -209,11 +254,59 @@ class FrameDecoder:
                 "declared payload of %d bytes exceeds the %d-byte frame limit"
                 % (length, self.max_payload)
             )
-        if len(self._buffer) < HEADER_SIZE + length:
+        if self._pending < HEADER_SIZE + length:
             return None
-        payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
-        del self._buffer[: HEADER_SIZE + length]
-        return Frame(ftype, session, payload)
+        self._consume(HEADER_SIZE)
+        return Frame(ftype, session, self._take(length))
+
+    def _peek_header(self):
+        """Unpack the next header without consuming it."""
+        head = self._chunks[0]
+        if len(head) - self._offset >= HEADER_SIZE:
+            return _HEADER.unpack_from(head, self._offset)
+        # The header spans fed slices (rare, at most 10 joined bytes).
+        parts = bytearray()
+        offset = self._offset
+        for chunk in self._chunks:
+            take = min(len(chunk) - offset, HEADER_SIZE - len(parts))
+            parts += chunk[offset : offset + take]
+            offset = 0
+            if len(parts) == HEADER_SIZE:
+                break
+        return _HEADER.unpack(bytes(parts))
+
+    def _consume(self, size: int) -> None:
+        """Advance past ``size`` already-counted bytes."""
+        self._pending -= size
+        while size:
+            head = self._chunks[0]
+            available = len(head) - self._offset
+            if available > size:
+                self._offset += size
+                return
+            size -= available
+            self._chunks.popleft()
+            self._offset = 0
+
+    def _take(self, length: int) -> Union[bytes, memoryview]:
+        """Consume and return the next ``length`` payload bytes."""
+        if length == 0:
+            return b""
+        head = self._chunks[0]
+        if len(head) - self._offset >= length:
+            payload = memoryview(head)[self._offset : self._offset + length]
+            self._consume(length)
+            return payload
+        parts = bytearray()
+        offset = self._offset
+        for chunk in self._chunks:
+            take = min(len(chunk) - offset, length - len(parts))
+            parts += memoryview(chunk)[offset : offset + take]
+            offset = 0
+            if len(parts) == length:
+                break
+        self._consume(length)
+        return bytes(parts)
 
     def _fail(self, message: str) -> ProtocolError:
         # A framing error is unrecoverable: there is no way to find the
@@ -224,4 +317,4 @@ class FrameDecoder:
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet forming a complete frame."""
-        return len(self._buffer)
+        return self._pending

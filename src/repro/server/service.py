@@ -67,7 +67,7 @@ from repro.server.protocol import (
     Frame,
     FrameDecoder,
     ProtocolError,
-    encode_frame,
+    encode_frame_parts,
     json_frame,
 )
 from repro.skipindex.updates import UpdateError, UpdateOp
@@ -630,6 +630,7 @@ class StationServer:
         producer = loop.run_in_executor(None, produce)
         chunks = 0
         sent_bytes = 0
+        unflushed = 0
         try:
             while True:
                 item = await queue.get()
@@ -638,18 +639,29 @@ class StationServer:
                 if isinstance(item, Exception):
                     await self._send_error(writer, conn, E_INTERNAL, str(item))
                     return None
-                await self._send(
-                    writer,
-                    encode_frame(
-                        CHUNK,
-                        conn.session_id,
-                        item,
-                        max_payload=self.max_payload,
-                    ),
+                # writev-style send: header and payload go to the
+                # transport as separate buffers (no concatenated frame
+                # copy), and drain() runs once per queue_depth frames
+                # instead of per frame — the transport coalesces the
+                # writes, the gate still bounds what is in flight.
+                header, payload = encode_frame_parts(
+                    CHUNK,
+                    conn.session_id,
+                    item,
+                    max_payload=self.max_payload,
                 )
+                writer.write(header)
+                if payload:
+                    writer.write(payload)
+                unflushed += 1
+                if unflushed >= self.queue_depth:
+                    await writer.drain()
+                    unflushed = 0
                 chunks += 1
                 sent_bytes += len(item)
                 gate.release()
+            if unflushed:
+                await writer.drain()
             await producer  # near-instant: the sentinel was just put
         except (ConnectionResetError, BrokenPipeError):
             return None
@@ -779,6 +791,7 @@ def hospital_station(
     context: str = "smartcard",
     use_skip_index: bool = True,
     groups: int = 3,
+    backend=None,
 ) -> Tuple[SecureStation, List[str]]:
     """A station serving the Fig. 1 hospital document under the three
     paper profiles; returns ``(station, granted subjects)``.
@@ -804,7 +817,9 @@ def hospital_station(
         seed=seed,
     )
     tree = generate_hospital(config)
-    station = SecureStation(context=context, use_skip_index=use_skip_index)
+    station = SecureStation(
+        context=context, use_skip_index=use_skip_index, backend=backend
+    )
     station.publish("hospital", tree)
     doctor = config.doctor_names()[0]
     policies = [

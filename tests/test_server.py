@@ -162,6 +162,58 @@ class TestProtocol:
             assert frames[0].payload == b"hello world"
             assert decoder.pending_bytes == 0
 
+    def test_encode_frame_parts_matches_encode_frame(self):
+        header, payload = protocol.encode_frame_parts(CHUNK, 9, b"abc")
+        assert header + payload == encode_frame(CHUNK, 9, b"abc")
+        header, payload = protocol.encode_frame_parts(protocol.BYE, 0)
+        assert payload == b""
+        assert header == encode_frame(protocol.BYE, 0)
+
+    def test_encode_frame_parts_validates_like_encode_frame(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame_parts(0x7F, 1, b"a")
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame_parts(CHUNK, 1, b"x" * 65, max_payload=64)
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame_parts(CHUNK, -1)
+
+    def test_single_chunk_payload_is_zero_copy_view(self):
+        # A payload contained in one fed buffer comes back as a
+        # memoryview over it — no join, no copy.
+        data = encode_frame(CHUNK, 7, b"p" * 1000)
+        (frame,) = FrameDecoder().feed(data)
+        assert isinstance(frame.payload, memoryview)
+        assert bytes(frame.payload) == b"p" * 1000
+        assert frame == Frame(CHUNK, 7, b"p" * 1000)  # equality across types
+
+    def test_spanning_payload_reassembles_across_feeds(self):
+        payload = bytes(range(256)) * 20
+        data = encode_frame(CHUNK, 2, payload)
+        decoder = FrameDecoder()
+        frames = []
+        for cut in range(0, len(data), 333):
+            frames += decoder.feed(data[cut : cut + 333])
+        (frame,) = frames
+        assert bytes(frame.payload) == payload
+        assert decoder.pending_bytes == 0
+
+    def test_decoder_accepts_memoryview_input(self):
+        data = encode_frame(QUERY, 3, b"q" * 50)
+        decoder = FrameDecoder()
+        frames = decoder.feed(memoryview(data)[:20])
+        frames += decoder.feed(memoryview(data)[20:])
+        (frame,) = frames
+        assert bytes(frame.payload) == b"q" * 50
+        assert decoder.pending_bytes == 0
+
+    def test_pending_bytes_tracks_buffered_prefix(self):
+        data = encode_frame(CHUNK, 1, b"x" * 100)
+        decoder = FrameDecoder()
+        decoder.feed(data[:50])
+        assert decoder.pending_bytes == 50
+        decoder.feed(data[50:])
+        assert decoder.pending_bytes == 0
+
 
 # ----------------------------------------------------------------------
 # End-to-end over localhost
