@@ -13,6 +13,8 @@ Exposes the pipeline end to end::
     python -m repro update   127.0.0.1:8471 hospital --subject secretary --kind update-text --path 0,1 --text "new value"
     python -m repro loadgen  127.0.0.1:8471 --clients 8 --queries 5 [--mix "subject[:weight[:query]]" ...]
     python -m repro loadgen  --cluster 3 --replicas 2 --kill-one --output BENCH_cluster.json
+    python -m repro stats    127.0.0.1:8470 [--format table|csv|json]
+    python -m repro top      127.0.0.1:8470 [--interval 2] [--once]
 
 The protected store is a self-describing file: one JSON header line
 (scheme name, layout, plaintext size) followed by the raw terminal
@@ -224,6 +226,26 @@ def cmd_bench(args) -> int:
 # ----------------------------------------------------------------------
 # Network layer (repro.server)
 # ----------------------------------------------------------------------
+def _slow_query_printer(record) -> None:
+    """Slow-query sink: dump the full span tree to stderr as it lands."""
+    from repro.obs.trace import format_span_tree
+
+    print(format_span_tree(record.as_dict()), file=sys.stderr, flush=True)
+
+
+def _start_metrics(registry, args):
+    """Boot the Prometheus endpoint when ``--metrics-port`` was given."""
+    if getattr(args, "metrics_port", None) is None:
+        return None
+    from repro.obs.http import MetricsServer
+
+    metrics_server = MetricsServer(
+        registry, args.metrics_port, host=args.host
+    ).start()
+    print("metrics on http://%s/metrics" % metrics_server.address, flush=True)
+    return metrics_server
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
@@ -257,7 +279,10 @@ def cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         seal=args.seal,
         allow_updates=not args.readonly,
+        slow_ms=args.slow_ms,
+        slow_sink=_slow_query_printer if args.slow_ms is not None else None,
     )
+    metrics_server = _start_metrics(server.registry, args)
 
     async def amain() -> None:
         host, port = await server.start()
@@ -280,6 +305,8 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("station server stopped", file=sys.stderr)
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         # Shutdown summary: the operational counters (plan/view cache
         # behaviour, volumes) that were previously visible only
         # in-process — remote operators get them live via STATS, and
@@ -313,7 +340,14 @@ def cmd_cluster(args) -> int:
         context=args.context,
         host=args.host,
         gateway_port=args.port,
+        slow_ms=args.slow_ms,
+        trace=args.trace,
     )
+    metrics_server = None
+    if cluster.gateway is not None:
+        if args.slow_ms is not None:
+            cluster.gateway.tracer.slow_sink = _slow_query_printer
+        metrics_server = _start_metrics(cluster.gateway.registry, args)
     try:
         host, port = cluster.gateway_address
         print(
@@ -337,10 +371,18 @@ def cmd_cluster(args) -> int:
     except KeyboardInterrupt:
         print("cluster stopped", file=sys.stderr)
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         gateway = cluster.gateway
         if gateway is not None:
             print(
-                json.dumps({"gateway": dict(gateway.gateway_stats)}, indent=2),
+                json.dumps(
+                    {
+                        "gateway": dict(gateway.gateway_stats),
+                        "observability": gateway.tracer.stats(),
+                    },
+                    indent=2,
+                ),
                 file=sys.stderr,
             )
         cluster.stop()
@@ -370,6 +412,63 @@ def cmd_remote_view(args) -> int:
             )
         if args.stats:
             print(json.dumps(session.stats(), indent=2), file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """One STATS round-trip, rendered as a table, CSV or JSON."""
+    from repro.obs.dashboard import render_stats
+    from repro.server.client import RemoteSession
+    from repro.server.loadgen import parse_address
+
+    host, port = parse_address(args.address)
+    with RemoteSession(
+        host, port, args.subject or "@stats", connect_retry=args.connect_retry
+    ) as session:
+        body = session.stats()
+    print(render_stats(body, args.format))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live terminal dashboard over a station server or gateway.
+
+    Redraws every ``--interval`` seconds from STATS round-trips —
+    per-backend throughput, latency percentiles, view-cache hit rate,
+    pool fallbacks, native-kernel availability and ring health.
+    ``--once`` prints a single frame and exits (scripts, tests).
+    """
+    import time
+
+    from repro.obs.dashboard import render_top
+    from repro.server.client import RemoteSession
+    from repro.server.loadgen import parse_address
+
+    host, port = parse_address(args.address)
+    address = "%s:%d" % (host, port)
+    with RemoteSession(
+        host,
+        port,
+        args.subject or "@top",
+        connect_retry=args.connect_retry,
+        auto_reconnect=True,
+    ) as session:
+        previous = None
+        try:
+            while True:
+                body = session.stats()
+                text = render_top(body, previous, args.interval, address)
+                if args.once:
+                    print(text)
+                    return 0
+                # Clear + home, then one frame; plain ANSI keeps this
+                # dependency-free and scrollback-friendly under watch.
+                sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+                sys.stdout.flush()
+                previous = body
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
     return 0
 
 
@@ -453,6 +552,10 @@ def cmd_loadgen(args) -> int:
         argv += ["--seed", str(args.seed)]
     if args.backend:
         argv += ["--backend", args.backend]
+    if args.trace:
+        argv += ["--trace"]
+    if args.slow_ms is not None:
+        argv += ["--slow-ms", str(args.slow_ms)]
     return loadgen_main(argv)
 
 
@@ -566,6 +669,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute backend for the crypto hot paths "
         "(auto prefers the native C kernels when available)",
     )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="expose Prometheus metrics over HTTP on this port "
+        "(0 binds an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="log traced requests at or above this many milliseconds, "
+        "dumping their full span tree to stderr",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -598,7 +715,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument(
         "--context", default="smartcard", choices=sorted(CONTEXTS)
     )
+    p_cluster.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="expose the gateway's Prometheus metrics over HTTP "
+        "(0 binds an ephemeral port)",
+    )
+    p_cluster.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="gateway slow-query threshold; slow span trees go to stderr",
+    )
+    p_cluster.add_argument(
+        "--trace",
+        action="store_true",
+        help="mint a trace id for every request, even from clients "
+        "that did not stamp one",
+    )
     p_cluster.set_defaults(func=cmd_cluster)
+
+    p_stats = sub.add_parser(
+        "stats", help="one STATS snapshot from a server or gateway"
+    )
+    p_stats.add_argument("address", help="HOST:PORT")
+    p_stats.add_argument(
+        "--format", choices=["table", "csv", "json"], default="table"
+    )
+    p_stats.add_argument("--subject", help="subject to connect as")
+    p_stats.add_argument("--connect-retry", type=float, default=5.0)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a server or gateway"
+    )
+    p_top.add_argument("address", help="HOST:PORT")
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period, seconds"
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    p_top.add_argument("--subject", help="subject to connect as")
+    p_top.add_argument("--connect-retry", type=float, default=5.0)
+    p_top.set_defaults(func=cmd_top)
 
     p_remote = sub.add_parser(
         "remote-view", help="authorized view from a running station server"
@@ -682,6 +843,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["pure", "native", "pool", "auto"],
         help="compute backend of the in-process server under load "
         "(recorded in the report)",
+    )
+    p_load.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp every request with a reproducible trace id and "
+        "report server-side tracer counters",
+    )
+    p_load.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="slow-query threshold for the booted cluster gateway",
     )
     p_load.set_defaults(func=cmd_loadgen)
     return parser

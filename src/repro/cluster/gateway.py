@@ -58,6 +58,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.ring import HashRing
 from repro.metrics import percentile
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer, format_trace_id, new_trace_id
 from repro.server import protocol
 from repro.server.protocol import (
     BYE,
@@ -239,6 +241,20 @@ class ClusterGateway:
         used by repair and rebalance to place a document copy onto a
         backend; ``None`` disables repair (failover still works while
         replicas survive).
+    slow_ms / trace / registry / tracer / slow_sink:
+        Observability: requests whose frame header carries a nonzero
+        trace id get a gateway-side span tree — a ``gateway.request``
+        (or ``gateway.update``) root, one ``forward:<backend>`` child
+        per attempt, and the backend's own spans grafted underneath
+        (the backend serializes them into its RESULT trailer; the
+        gateway adopts them, so one trace spans both processes).
+        ``trace=True`` additionally mints an id for *untraced* client
+        requests, so a plain old client still shows up in the slow log.
+        ``slow_ms`` flags traces at or above the threshold into the
+        tracer's slow log (and ``slow_sink``, when given).  ``registry``
+        is a :class:`MetricsRegistry` (one is created when omitted)
+        exposing gateway counters, ring health and request latency for
+        the Prometheus endpoint.
     """
 
     def __init__(
@@ -256,6 +272,11 @@ class ClusterGateway:
         request_timeout: float = 60.0,
         connect_timeout: float = 5.0,
         max_payload: int = protocol.DEFAULT_MAX_PAYLOAD,
+        slow_ms: Optional[float] = None,
+        trace: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     ):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -307,6 +328,24 @@ class ClusterGateway:
         #: Highest version already announced per document (dedupe: R
         #: replicas each push INVALIDATED for the same update).
         self._announced: Dict[str, int] = {}
+        self.slow_ms = slow_ms
+        self.trace = trace
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(slow_ms=slow_ms, slow_sink=slow_sink)
+        )
+        self._requests_metric = self.registry.counter(
+            "repro_requests_total",
+            "Frames dispatched by type.",
+            labelnames=("type",),
+        )
+        self._latency_metric = self.registry.histogram(
+            "repro_request_ms",
+            "End-to-end request latency as seen by the gateway.",
+        )
+        self.registry.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     # Lifecycle (ServerThread-compatible: start/stop/address)
@@ -436,6 +475,7 @@ class ClusterGateway:
         subject: str,
         document_id: str,
         query: Optional[str],
+        trace: int = 0,
     ) -> Tuple[List[bytes], Dict[str, Any]]:
         body = {
             "kind": "query",
@@ -444,7 +484,7 @@ class ClusterGateway:
             "query": query,
         }
         chunks, frame = await self._request(
-            backend, json_frame(FORWARD, 0, body), (RESULT,)
+            backend, json_frame(FORWARD, 0, body, trace=trace), (RESULT,)
         )
         return chunks, frame.json()
 
@@ -454,6 +494,7 @@ class ClusterGateway:
         subject: str,
         document_id: str,
         op_body: Dict[str, Any],
+        trace: int = 0,
     ) -> Dict[str, Any]:
         body = {
             "kind": "update",
@@ -462,7 +503,7 @@ class ClusterGateway:
             "op": op_body,
         }
         _chunks, frame = await self._request(
-            backend, json_frame(FORWARD, 0, body), (RESULT,)
+            backend, json_frame(FORWARD, 0, body, trace=trace), (RESULT,)
         )
         return frame.json()
 
@@ -636,6 +677,7 @@ class ClusterGateway:
     async def _dispatch(
         self, frame: Frame, conn: _ClientConn, writer: asyncio.StreamWriter
     ) -> bool:
+        self._requests_metric.labels(type=frame.type_name).inc()
         if frame.type == BYE:
             return False
         if frame.type == PING:
@@ -709,8 +751,15 @@ class ClusterGateway:
             )
             return False
         query = body.get("query") or None
+        trace = frame.trace or (new_trace_id() if self.trace else 0)
+        root = None
+        if trace:
+            root = self.tracer.start(
+                trace, "gateway.request", document=document_id
+            )
         tried: Set[str] = set()
         attempts: List[str] = []
+        request_started = time.perf_counter()
         while True:
             candidates = [
                 name
@@ -723,20 +772,31 @@ class ClusterGateway:
             tried.add(name)
             backend = self.backends[name]
             started = time.perf_counter()
+            fwd = None
+            if trace:
+                fwd = self.tracer.start(
+                    trace, "forward:%s" % name, parent=root.id
+                )
             try:
                 chunks, trailer = await self._forward_query(
-                    backend, conn.subject, document_id, query
+                    backend, conn.subject, document_id, query, trace=trace
                 )
             except BackendRefused as exc:
+                if fwd is not None:
+                    self.tracer.finish(fwd, error=exc.code)
                 if exc.code == "unknown-document" and len(candidates) > 1:
                     # Placement race: repair has not copied the
                     # document onto this preference node yet.  Another
                     # candidate may hold it.
                     attempts.append("%s: %s" % (name, exc.message))
                     continue
+                if trace:
+                    self.tracer.discard(trace)
                 await self._send_error(writer, conn, exc.code, exc.message)
                 return True
             except self._TRANSPORT_ERRORS as exc:
+                if fwd is not None:
+                    self.tracer.finish(fwd, error=type(exc).__name__)
                 attempts.append("%s: %s" % (name, exc))
                 self.gateway_stats["failovers"] += 1
                 await self._mark_dead(name)
@@ -764,11 +824,38 @@ class ClusterGateway:
                 self._note_version(document_id, int(version))
             trailer["backend"] = name
             trailer["failover"] = len(tried) - 1
+            if trace:
+                # Graft the backend's span tree (serialized into its
+                # trailer) under this attempt's forward span, then ship
+                # the *combined* tree to the client — one trace, both
+                # processes.
+                remote_spans = trailer.pop("spans", None)
+                self.tracer.finish(fwd, backend=name, chunks=len(chunks))
+                if remote_spans:
+                    self.tracer.adopt(trace, remote_spans, parent=fwd.id)
+                self.tracer.finish(
+                    root, backend=name, failover=len(tried) - 1
+                )
+                record = self.tracer.end_trace(trace, root=root)
+                trailer["trace"] = format_trace_id(trace)
+                if record is not None and record.slow:
+                    # Client-facing trees only ship for slow traces
+                    # (slow_ms=0 means "every trace"): the combined
+                    # tree is already in the gateway's ring/slow log,
+                    # and serializing it per-request would blow the
+                    # hot-path tracing budget.
+                    trailer["spans"] = record.wire_spans()
+            self._latency_metric.observe(
+                (time.perf_counter() - request_started) * 1000
+            )
             await self._send(
-                writer, json_frame(RESULT, conn.session_id, trailer)
+                writer,
+                json_frame(RESULT, conn.session_id, trailer, trace=trace),
             )
             self.gateway_stats["queries"] += 1
             return True
+        if trace:
+            self.tracer.discard(trace)
         await self._send_error(
             writer,
             conn,
@@ -795,7 +882,7 @@ class ClusterGateway:
             lock = self._update_locks[document_id] = asyncio.Lock()
         async with lock:
             return await self._apply_routed_update(
-                conn, writer, document_id, op_body
+                conn, writer, document_id, op_body, trace=frame.trace
             )
 
     async def _apply_routed_update(
@@ -804,7 +891,15 @@ class ClusterGateway:
         writer: asyncio.StreamWriter,
         document_id: str,
         op_body: Dict[str, Any],
+        trace: int = 0,
     ) -> bool:
+        trace = trace or (new_trace_id() if self.trace else 0)
+        root = None
+        if trace:
+            root = self.tracer.start(
+                trace, "gateway.update", document=document_id
+            )
+        request_started = time.perf_counter()
         tried: Set[str] = set()
         trailer = None
         primary = None
@@ -815,6 +910,8 @@ class ClusterGateway:
                 if name not in tried
             ]
             if not candidates:
+                if trace:
+                    self.tracer.discard(trace)
                 await self._send_error(
                     writer,
                     conn,
@@ -824,17 +921,36 @@ class ClusterGateway:
                 return True
             primary = candidates[0]
             tried.add(primary)
+            fwd = None
+            if trace:
+                fwd = self.tracer.start(
+                    trace, "forward:%s" % primary, parent=root.id
+                )
             try:
                 trailer = await self._forward_update(
-                    self.backends[primary], conn.subject, document_id, op_body
+                    self.backends[primary],
+                    conn.subject,
+                    document_id,
+                    op_body,
+                    trace=trace,
                 )
             except BackendRefused as exc:
+                if trace:
+                    self.tracer.discard(trace)
                 await self._send_error(writer, conn, exc.code, exc.message)
                 return True
             except self._TRANSPORT_ERRORS:
+                if fwd is not None:
+                    self.tracer.finish(fwd, error="transport")
                 self.gateway_stats["failovers"] += 1
                 await self._mark_dead(primary)
                 continue
+            if trace:
+                remote_spans = trailer.pop("spans", None)
+                trailer.pop("trace", None)
+                self.tracer.finish(fwd, backend=primary)
+                if remote_spans:
+                    self.tracer.adopt(trace, remote_spans, parent=fwd.id)
             break
         version = int(trailer.get("version", 0))
         replicas_ok = 1
@@ -870,8 +986,21 @@ class ClusterGateway:
         self._announce(document_id, version)
         trailer["backend"] = primary
         trailer["replicas"] = replicas_ok
+        if trace:
+            self.tracer.finish(
+                root, backend=primary, version=version, replicas=replicas_ok
+            )
+            record = self.tracer.end_trace(trace, root=root)
+            trailer["trace"] = format_trace_id(trace)
+            if record is not None and record.slow:
+                trailer["spans"] = record.wire_spans()
+        self._latency_metric.observe(
+            (time.perf_counter() - request_started) * 1000
+        )
         self.gateway_stats["updates"] += 1
-        await self._send(writer, json_frame(RESULT, conn.session_id, trailer))
+        await self._send(
+            writer, json_frame(RESULT, conn.session_id, trailer, trace=trace)
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -1042,6 +1171,8 @@ class ClusterGateway:
         station_totals: Dict[str, int] = {}
         server_totals: Dict[str, int] = {}
         per_backend: Dict[str, Dict[str, Any]] = {}
+        compute_totals = {"batches": 0, "fallbacks": 0, "chunks": 0}
+        native_backends = 0
         cached_views = 0
         for name in list(self.backends):
             backend = self.backends[name]
@@ -1053,6 +1184,7 @@ class ClusterGateway:
                 "latency_ms": {
                     "p50": backend.latency_ms(50),
                     "p95": backend.latency_ms(95),
+                    "p99": backend.latency_ms(99),
                 },
             }
             if backend.alive:
@@ -1074,12 +1206,26 @@ class ClusterGateway:
                     cached_views += int(stats_body.get("cached_views") or 0)
                     entry["cached_views"] = stats_body.get("cached_views")
                     entry["cached_plans"] = stats_body.get("cached_plans")
+                    entry["station"] = stats_body.get("station")
+                    compute = dict(stats_body.get("backend") or {})
+                    entry["backend"] = compute
+                    for key in compute_totals:
+                        compute_totals[key] += int(compute.get(key) or 0)
+                    native_backends += 1 if compute.get("native_kernels") else 0
                 except BackendRefused:
                     pass
                 except self._TRANSPORT_ERRORS:
                     await self._mark_dead(name)
                     entry["alive"] = False
             per_backend[name] = entry
+        # Cluster-wide percentiles are computed over the *pooled* raw
+        # samples from every backend, never by averaging per-backend
+        # percentiles — an average of p95s is not the p95 of the union
+        # (a skewed node's tail would be diluted by quiet ones).
+        samples: List[float] = []
+        for backend in self.backends.values():
+            samples.extend(backend.latencies)
+        alive = sum(1 for b in self.backends.values() if b.alive)
         body = {
             "role": "gateway",
             "gateway": dict(self.gateway_stats),
@@ -1089,11 +1235,54 @@ class ClusterGateway:
             "cached_views": cached_views,
             "documents": dict(self.documents),
             "replicas": self.replicas,
+            "ring": {"alive": alive, "total": len(self.backends)},
+            "latency_ms": {
+                "p50": round(percentile(samples, 50) * 1000, 3),
+                "p95": round(percentile(samples, 95) * 1000, 3),
+                "p99": round(percentile(samples, 99) * 1000, 3),
+            },
+            "compute": dict(
+                compute_totals,
+                native_backends=native_backends,
+            ),
+            "observability": dict(
+                self.tracer.stats(), slow_log=self.tracer.slow_records()
+            ),
         }
         await self._send(writer, json_frame(STATS, conn.session_id, body))
         return True
 
     # ------------------------------------------------------------------
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Pull-time collector: refresh gauges from the live gateway
+        state.  Nothing on the request path mirrors counters into the
+        registry — scrapes read them here, so tracing-off requests pay
+        zero metric bookkeeping beyond the dispatch counter."""
+        for key, value in self.gateway_stats.items():
+            registry.gauge(
+                "repro_gateway_%s" % key, "Gateway counter %r." % key
+            ).set(float(value))
+        registry.gauge(
+            "repro_ring_alive", "Backends currently on the hash ring."
+        ).set(float(sum(1 for b in self.backends.values() if b.alive)))
+        registry.gauge(
+            "repro_ring_total", "Backends ever registered with the gateway."
+        ).set(float(len(self.backends)))
+        requests = registry.gauge(
+            "repro_backend_requests",
+            "Requests forwarded, per backend.",
+            labelnames=("backend",),
+        )
+        for name, backend in self.backends.items():
+            requests.labels(backend=name).set(float(backend.requests))
+        tracer_stats = self.tracer.stats()
+        registry.gauge(
+            "repro_traces_finished", "Traces completed end-to-end."
+        ).set(float(tracer_stats["finished"]))
+        registry.gauge(
+            "repro_slow_queries", "Traces at or above the slow threshold."
+        ).set(float(tracer_stats["slow_queries"]))
+
     async def _send(self, writer: asyncio.StreamWriter, data: bytes) -> None:
         writer.write(data)
         await writer.drain()

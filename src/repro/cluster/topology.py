@@ -103,6 +103,8 @@ class StationCluster:
         pool_size: int = 4,
         chunk_size: int = 4096,
         master_secret: bytes = b"cluster-master-secret",
+        slow_ms: Optional[float] = None,
+        trace: bool = False,
     ):
         self.replicas = replicas
         self.vnodes = vnodes
@@ -112,6 +114,12 @@ class StationCluster:
         self.gateway_port = gateway_port
         self.pool_size = pool_size
         self.chunk_size = chunk_size
+        #: Observability knobs, applied to the gateway at
+        #: :meth:`start_gateway` (the gateway owns the combined
+        #: cross-process span tree, so its slow log is the one that
+        #: matters; backends keep their own tracers for direct use).
+        self.slow_ms = slow_ms
+        self.trace = trace
         self._secret = master_secret
         self.nodes: Dict[str, ClusterNode] = {}
         self.gateway: Optional[ClusterGateway] = None
@@ -260,6 +268,8 @@ class StationCluster:
             },
             republisher=self._republish,
             pool_size=self.pool_size,
+            slow_ms=self.slow_ms,
+            trace=self.trace,
         )
         self.gateway_thread = ServerThread(self.gateway)
         self.gateway_address = self.gateway_thread.start()
@@ -381,6 +391,8 @@ def hospital_cluster(
     vnodes: int = 64,
     host: str = "127.0.0.1",
     gateway_port: int = 0,
+    slow_ms: Optional[float] = None,
+    trace: bool = False,
 ) -> Tuple[StationCluster, List[str], List[str]]:
     """A running cluster serving ``documents`` hospital documents.
 
@@ -409,6 +421,8 @@ def hospital_cluster(
         context=context,
         host=host,
         gateway_port=gateway_port,
+        slow_ms=slow_ms,
+        trace=trace,
     )
     cluster.start_backends(backends)
     document_ids: List[str] = []

@@ -60,8 +60,13 @@ class ComputeBackend:
         pass
 
     def describe(self) -> Dict[str, object]:
+        """Wire-safe self-description: backend name, counters, and
+        whether the C kernels are actually loadable *here* — surfaced
+        through the STATS frame so a gateway (and ``repro top``) can
+        show a backend silently degraded to the serial/pure path."""
         info: Dict[str, object] = {"name": self.name}
         info.update(self.stats)
+        info["native_kernels"] = bool(native_available())
         return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

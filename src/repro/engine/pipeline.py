@@ -23,7 +23,7 @@ architecture:
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.accesscontrol.evaluator import StreamingEvaluator
 from repro.accesscontrol.model import Policy
@@ -66,6 +66,10 @@ class PipelineContext:
         self.breakdown = None
         self.integrity_report: Optional[Dict[str, object]] = None
         self.stage_seconds: Dict[str, float] = {}
+        #: Per-stage ``(name, start, end)`` in ``perf_counter`` time —
+        #: the raw material request tracing turns into pipeline spans
+        #: (``repro.obs.trace``) without re-running any clock.
+        self.stage_times: List[Tuple[str, float, float]] = []
 
     def require(self, attribute: str, stage: str):
         value = getattr(self, attribute)
@@ -306,11 +310,11 @@ class DocumentPipeline:
         for stage in self.stages:
             started = time.perf_counter()
             stage.run(ctx)
+            ended = time.perf_counter()
             ctx.stage_seconds[stage.name] = (
-                ctx.stage_seconds.get(stage.name, 0.0)
-                + time.perf_counter()
-                - started
+                ctx.stage_seconds.get(stage.name, 0.0) + ended - started
             )
+            ctx.stage_times.append((stage.name, started, ended))
         ctx.breakdown = CostModel(self.platform).breakdown(ctx.meter)
         return ctx
 

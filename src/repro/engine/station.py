@@ -28,6 +28,7 @@ import hashlib
 import hmac
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.accesscontrol.evaluator import StreamingEvaluator
@@ -165,6 +166,9 @@ class StationSession:
         query=None,
         chunk_size: int = 4096,
         seal: bool = False,
+        tracer=None,
+        trace: int = 0,
+        parent_span: int = 0,
     ) -> "ViewStream":
         """Streaming hand-off for the network layer: evaluate, then
         expose the serialized view as bounded chunks (optionally sealed
@@ -175,6 +179,9 @@ class StationSession:
             query=query,
             chunk_size=chunk_size,
             sealer=self.seal if seal else None,
+            tracer=tracer,
+            trace=trace,
+            parent_span=parent_span,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -807,6 +814,9 @@ class SecureStation:
         document_id: str,
         subject_or_policy: Union[str, Policy, PolicyPlan],
         query=None,
+        tracer=None,
+        trace: int = 0,
+        parent_span: int = 0,
     ) -> SessionResult:
         """One request: the authorized view of one document for one
         subject (grant lookup) or explicit policy/plan.
@@ -816,7 +826,17 @@ class SecureStation:
         the *original* evaluation (the cached meter/breakdown travel
         with the entry), so simulated seconds are identical whether a
         request hit or missed — only real wall-clock work disappears.
+
+        With a ``tracer`` (``repro.obs.trace.Tracer``) and a nonzero
+        ``trace`` id, the request records spans under ``parent_span``:
+        one ``view-cache`` span on a hit, or one span per pipeline
+        stage (with the stage's Meter counts as attributes) on a miss.
+        Untraced requests (``trace`` 0, the default) skip every tracing
+        branch — the cached hot path stays within the ratio guard of
+        ``benchmarks/test_obs_bench.py``.
         """
+        traced = tracer is not None and trace != 0
+        t_start = perf_counter() if traced else 0.0
         prepared, _key, version = self._snapshot(document_id)
         if isinstance(subject_or_policy, str):
             policy = self._policy_for(document_id, subject_or_policy)
@@ -854,6 +874,15 @@ class SecureStation:
                 result.document_version = version
                 result.cache_hit = True
                 result.cache_entry = entry
+                if traced:
+                    tracer.record(
+                        trace,
+                        "view-cache",
+                        t_start,
+                        perf_counter(),
+                        parent=parent_span,
+                        attrs={"cached": True, "events": len(entry.events)},
+                    )
                 return result
         with self._lock:
             self.stats.requests += 1
@@ -865,6 +894,8 @@ class SecureStation:
             prune=self.prune,
         )
         ctx = pipeline.run(prepared=prepared)
+        if traced:
+            self._record_pipeline_spans(tracer, trace, parent_span, ctx)
         result = SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.platform)
         result.document_version = version
         if cache_key is not None:
@@ -877,6 +908,39 @@ class SecureStation:
                     self._views.popitem(last=False)
                     self.stats.view_evictions += 1
         return result
+
+    # Meter fields attached to each pipeline-stage span.  The meter is
+    # shared across the run (decryption happens lazily while the
+    # evaluator pulls), so these are *request totals* placed on the
+    # stage they conceptually belong to — the span durations are what
+    # localize the wall-clock.
+    _SPAN_METER_ATTRS = {
+        "stream-decrypt": ("bytes_decrypted", "bytes_hashed", "chunks_accessed"),
+        "evaluate": ("events", "token_ops", "skipped_subtrees", "pruned_subtrees"),
+        "serialize": ("bytes_delivered",),
+    }
+
+    def _record_pipeline_spans(self, tracer, trace, parent_span, ctx) -> None:
+        """Turn a finished pipeline run's stage timings into spans."""
+        meter = ctx.meter
+        for name, started, ended in ctx.stage_times:
+            attrs = {
+                field: getattr(meter, field)
+                for field in self._SPAN_METER_ATTRS.get(name, ())
+                if getattr(meter, field)
+            }
+            if name == "stream-decrypt":
+                # The compute-backend dispatch decision rides on the
+                # decrypt span: which strategy served the crypto work.
+                attrs["backend"] = self.backend.name
+            tracer.record(
+                trace,
+                "stage:%s" % name,
+                started,
+                ended,
+                parent=parent_span,
+                attrs=attrs,
+            )
 
     def cached_views(self) -> int:
         with self._lock:
@@ -902,6 +966,9 @@ class SecureStation:
         query=None,
         chunk_size: int = 4096,
         sealer=None,
+        tracer=None,
+        trace: int = 0,
+        parent_span: int = 0,
     ) -> ViewStream:
         """Evaluate and hand the serialized view off for chunked
         delivery (the network layer's entry point).
@@ -909,12 +976,30 @@ class SecureStation:
         The serialized payload is memoized on the view-cache entry, so
         a repeat remote query skips the NFA pass *and* serialization —
         what remains per request is the per-session link reseal."""
-        result = self.evaluate(document_id, subject_or_policy, query=query)
+        result = self.evaluate(
+            document_id,
+            subject_or_policy,
+            query=query,
+            tracer=tracer,
+            trace=trace,
+            parent_span=parent_span,
+        )
         entry = result.cache_entry
         if entry is not None and entry.payload is not None:
             payload = entry.payload
         else:
+            traced = tracer is not None and trace != 0
+            t_serialize = perf_counter() if traced else 0.0
             payload = serialize_events(result.events).encode("utf-8")
+            if traced:
+                tracer.record(
+                    trace,
+                    "serialize-payload",
+                    t_serialize,
+                    perf_counter(),
+                    parent=parent_span,
+                    attrs={"bytes": len(payload)},
+                )
             if entry is not None:
                 entry.payload = payload
         return ViewStream(result, payload, chunk_size, sealer=sealer)

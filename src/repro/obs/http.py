@@ -1,0 +1,92 @@
+"""Tiny stdlib HTTP listener exposing the metrics registry.
+
+``MetricsServer`` serves two endpoints on a daemon thread:
+
+``GET /metrics``
+    The registry rendered in Prometheus text exposition format 0.0.4
+    (scrape it with curl or point a real Prometheus at it).
+
+``GET /healthz``
+    ``ok`` with status 200 — a liveness probe for drills.
+
+It is intentionally *not* the wire protocol's asyncio loop: scraping
+must keep working while the event loop is busy streaming chunks, and a
+blocked scrape must never back-pressure query traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set on the subclass built per server
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            try:
+                body = self.registry.render().encode("utf-8")
+            except Exception as exc:
+                self._reply(500, ("# render error: %s\n" % exc).encode("utf-8"))
+                return
+            self._reply(200, body)
+        elif path == "/healthz":
+            self._reply(200, b"ok\n")
+        else:
+            self._reply(404, b"not found\n")
+
+    def _reply(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+
+class MetricsServer:
+    """Serve ``registry`` over HTTP on ``host:port`` (daemon thread)."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int,
+        host: str = "127.0.0.1",
+    ) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"registry": registry})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self.host, self.port = self._server.server_address[:2]
+
+    @property
+    def address(self) -> str:
+        return "%s:%d" % (self.host, self.port)
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-%d" % self.port,
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

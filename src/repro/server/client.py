@@ -20,6 +20,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.station import open_sealed
+from repro.obs.trace import new_trace_id
 from repro.server import protocol
 from repro.server.protocol import (
     BYE,
@@ -99,6 +100,22 @@ class RemoteResult:
         return int(self.trailer.get("chunks", 0))
 
     @property
+    def trace_id(self) -> str:
+        """Hex trace id echoed by the server ("" when untraced)."""
+        return str(self.trailer.get("trace", ""))
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        """The server-side span tree for this request (traced only).
+
+        The trailer carries spans in a compact wire form; this expands
+        them to ``{"name", "id", "parent", "start_ms", ...}`` dicts.
+        """
+        from repro.obs.trace import spans_from_wire
+
+        return spans_from_wire(self.trailer.get("spans"))
+
+    @property
     def result_bytes(self) -> int:
         return len(self.data)
 
@@ -132,6 +149,15 @@ class RemoteSession:
         never see stale data, they just see a cheaper round-trip while
         the document is unchanged.  Off by default: benchmarks and the
         load generator must measure real server work.
+    trace:
+        Stamp every request with a freshly minted 64-bit trace id
+        (carried in the frame header, echoed in the RESULT trailer
+        together with the server-side span tree).  Individual calls
+        may also pass an explicit ``trace=`` id — e.g. one minted from
+        a seeded RNG by the load generator — which wins over the
+        session default.  A transparent reconnect retry reuses the
+        *same* id, so one logical request stays one trace even when it
+        hops backends mid-flight.
     auto_reconnect:
         Re-dial and re-HELLO transparently when the connection drops,
         then retry the interrupted call once from scratch.  The public
@@ -155,6 +181,7 @@ class RemoteSession:
         connect_retry: float = 0.0,
         cache_views: bool = False,
         auto_reconnect: bool = False,
+        trace: bool = False,
     ):
         self.host = host
         self.port = port
@@ -164,6 +191,7 @@ class RemoteSession:
         self._closed = False
         self._cache_views = cache_views
         self._auto_reconnect = auto_reconnect
+        self._trace = trace
         self._cache: Dict[Tuple[str, Optional[str]], "RemoteResult"] = {}
         #: Latest known version per document (RESULT trailers and
         #: INVALIDATED pushes both feed it).
@@ -243,12 +271,20 @@ class RemoteSession:
                     raise
                 time.sleep(0.05)
 
+    def _trace_id(self, trace: int) -> int:
+        """Resolve a per-call trace id: explicit id wins, else mint one
+        when session-level tracing is on, else 0 (untraced)."""
+        if trace:
+            return int(trace)
+        return new_trace_id() if self._trace else 0
+
     # ------------------------------------------------------------------
     def evaluate(
         self,
         document_id: str,
         query: Optional[str] = None,
         fresh: bool = False,
+        trace: int = 0,
     ) -> RemoteResult:
         """The authorized view of ``document_id`` for this subject.
 
@@ -266,18 +302,20 @@ class RemoteSession:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached
+        trace = self._trace_id(trace)
         return self._with_reconnect(
-            lambda: self._evaluate_once(document_id, query, key)
+            lambda: self._evaluate_once(document_id, query, key, trace)
         )
 
     def _evaluate_once(
-        self, document_id: str, query: Optional[str], key
+        self, document_id: str, query: Optional[str], key, trace: int = 0
     ) -> RemoteResult:
         self._send(
             json_frame(
                 QUERY,
                 self.session_id,
                 {"document": document_id, "query": query},
+                trace=trace,
             )
         )
         parts: List[bytes] = []
@@ -306,7 +344,7 @@ class RemoteSession:
     #: Alias mirroring :meth:`StationSession.view`.
     view = evaluate
 
-    def update(self, document_id: str, op) -> Dict[str, Any]:
+    def update(self, document_id: str, op, trace: int = 0) -> Dict[str, Any]:
         """Apply a live edit server-side (an UPDATE round-trip).
 
         ``op`` is an :class:`~repro.skipindex.updates.UpdateOp` or its
@@ -321,18 +359,20 @@ class RemoteSession:
         verify the version trailer.
         """
         body = op.as_dict() if hasattr(op, "as_dict") else dict(op)
+        trace = self._trace_id(trace)
         return self._with_reconnect(
-            lambda: self._update_once(document_id, body)
+            lambda: self._update_once(document_id, body, trace)
         )
 
     def _update_once(
-        self, document_id: str, body: Dict[str, Any]
+        self, document_id: str, body: Dict[str, Any], trace: int = 0
     ) -> Dict[str, Any]:
         self._send(
             json_frame(
                 UPDATE,
                 self.session_id,
                 {"document": document_id, "op": body},
+                trace=trace,
             )
         )
         trailer = self._expect(RESULT).json()

@@ -49,6 +49,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics import percentile
+from repro.obs.trace import new_trace_id
 from repro.server.client import RemoteError, RemoteSession
 
 #: Subjects granted by :func:`repro.server.service.hospital_station`.
@@ -123,6 +124,7 @@ class _Worker(threading.Thread):
         seed: int = 0,
         documents: Optional[Sequence[str]] = None,
         auto_reconnect: bool = False,
+        trace: bool = False,
     ):
         super().__init__(daemon=True)
         self.args = (host, port, subject, document, queries, query)
@@ -133,6 +135,9 @@ class _Worker(threading.Thread):
         #: target document uniformly, exercising every shard.
         self.documents = list(documents) if documents else None
         self.auto_reconnect = auto_reconnect
+        #: Stamp every request with a trace id minted from the worker's
+        #: seeded RNG — the ids a ``--seed`` run emits are reproducible.
+        self.trace = trace
         self.rng = random.Random(seed)
         self.latencies: List[float] = []
         #: Parallel to ``latencies``: (class label, served-from-cache).
@@ -140,6 +145,7 @@ class _Worker(threading.Thread):
         self.bytes_received = 0
         self.simulated_seconds = 0.0
         self.cached_hits = 0
+        self.traced_requests = 0
         self.errors: List[str] = []
 
     def _connect_sessions(
@@ -192,9 +198,14 @@ class _Worker(threading.Thread):
                 else:
                     pick_document = document
                 session = sessions[pick_subject]
+                trace_id = new_trace_id(self.rng) if self.trace else 0
+                if trace_id:
+                    self.traced_requests += 1
                 start = time.perf_counter()
                 try:
-                    result = session.evaluate(pick_document, query=pick_query)
+                    result = session.evaluate(
+                        pick_document, query=pick_query, trace=trace_id
+                    )
                 except RemoteError as exc:
                     self.errors.append(str(exc))
                     continue
@@ -214,6 +225,21 @@ class _Worker(threading.Thread):
         finally:
             for session in sessions.values():
                 session.close()
+
+
+def _poll_observability(host: str, port: int, subject: str) -> Dict[str, Any]:
+    """One STATS round-trip distilled to the tracer's view of the run:
+    how many traces finished and how many landed in the slow-query log
+    (the count *and* the retained records are the loadgen's proof that
+    tracing was live server-side, not just stamped client-side)."""
+    try:
+        with RemoteSession(host, port, subject, connect_retry=5.0) as session:
+            body = session.stats()
+    except Exception:  # noqa: BLE001 - observability must not fail a run
+        return {}
+    obs = dict(body.get("observability") or {})
+    obs["slow_log_hits"] = len(obs.get("slow_log") or [])
+    return obs
 
 
 def _class_report(workers: Sequence[_Worker]) -> Dict[str, Dict[str, Any]]:
@@ -252,12 +278,19 @@ def run_load(
     documents: Optional[Sequence[str]] = None,
     auto_reconnect: bool = False,
     backend: Optional[str] = None,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     """N clients x M queries against ``host:port``; returns the report.
 
     ``backend`` labels the run with the compute backend the server
     under load was started with (``repro serve --backend ...``), so a
     BENCH_server.json archive says which backend produced its numbers.
+
+    ``trace=True`` stamps every request with a trace id minted from
+    each worker's seeded RNG (reproducible under ``--seed``) and, after
+    the run, polls the server's STATS for its tracer counters and
+    slow-query-log hits, which land in the report's ``observability``
+    section.
 
     With ``mix`` (a sequence of ``(subject, query, weight)`` triples)
     every request is drawn from the weighted set and the report gains a
@@ -280,6 +313,7 @@ def run_load(
             seed=seed * 10_007 + index,
             documents=documents,
             auto_reconnect=auto_reconnect,
+            trace=trace,
         )
         for index in range(clients)
     ]
@@ -322,6 +356,13 @@ def run_load(
     }
     if backend:
         report["backend"] = backend
+    if trace:
+        report["traced_requests"] = sum(
+            worker.traced_requests for worker in workers
+        )
+        report["observability"] = _poll_observability(
+            host, port, subjects[0] if subjects else DEFAULT_SUBJECTS[0]
+        )
     if documents:
         report["documents"] = list(documents)
     if mix:
@@ -344,6 +385,8 @@ def run_cluster_load(
     mix: Optional[Sequence[MixPair]] = None,
     seed: int = 0,
     kill_one: bool = False,
+    trace: bool = False,
+    slow_ms: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Boot an in-process cluster, drive load through its gateway.
 
@@ -368,6 +411,8 @@ def run_cluster_load(
         replicas=replicas,
         documents=documents,
         folders=folders,
+        slow_ms=slow_ms,
+        trace=trace,
     )
     killed: Dict[str, Any] = {}
     done = threading.Event()
@@ -404,6 +449,7 @@ def run_cluster_load(
             seed=seed,
             documents=document_ids,
             auto_reconnect=True,
+            trace=trace,
         )
         done.set()
         if killer is not None:
@@ -521,6 +567,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="mixed-workload draw seed"
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp every request with a trace id (minted from the "
+        "seeded per-worker RNG, so ids reproduce under --seed) and "
+        "report the server's tracer counters + slow-query-log hits",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="slow-query threshold for the booted cluster's gateway "
+        "(--cluster only; a live server sets its own via repro serve)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_server.json", help="report path"
     )
     parser.add_argument(
@@ -554,6 +614,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             mix=args.mix,
             seed=args.seed,
             kill_one=args.kill_one,
+            trace=args.trace,
+            slow_ms=args.slow_ms,
         )
         if args.backend:
             report["backend"] = args.backend
@@ -573,6 +635,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             mix=args.mix,
             seed=args.seed,
             backend=args.backend,
+            trace=args.trace,
         )
     write_report(report, args.output)
     print(
@@ -588,6 +651,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.output,
         )
     )
+    if args.trace:
+        obs = report.get("observability") or {}
+        print(
+            "  tracing: %d requests stamped, %s traces finished, "
+            "%s slow queries (%s retained in the slow log)"
+            % (
+                report.get("traced_requests", 0),
+                obs.get("finished", "?"),
+                obs.get("slow_queries", "?"),
+                obs.get("slow_log_hits", 0),
+            )
+        )
     if args.mix:
         for label, entry in report["classes"].items():
             print(

@@ -10,6 +10,21 @@ speak — a fixed 11-byte header followed by an opaque payload::
     |  1 B  |   1 B   | 1 B  |  4 B (BE)  |    4 B (BE)    |  0..N B |
     +-------+---------+------+------------+----------------+---------+
 
+Protocol **version 2** extends the header with a 64-bit trace id for
+request tracing (``repro.obs``) — 8 extra bytes between PAYLOAD LENGTH
+and PAYLOAD::
+
+    +-------+-----------+------+------------+----------------+------------+---------+
+    | MAGIC | VERSION=2 | TYPE | SESSION ID | PAYLOAD LENGTH |  TRACE ID  | PAYLOAD |
+    |  1 B  |    1 B    | 1 B  |  4 B (BE)  |    4 B (BE)    |  8 B (BE)  |  0..N B |
+    +-------+-----------+------+------------+----------------+------------+---------+
+
+The bump is backward compatible in both directions that matter:
+encoders emit a version-1 header whenever the trace id is 0 (untraced
+traffic is byte-identical to the old protocol, so new senders
+interoperate with old peers), and the decoder accepts version-1 and
+version-2 frames interleaved on the same stream.
+
 Control payloads (HELLO, WELCOME, QUERY, RESULT, ERROR, STATS,
 UPDATE, INVALIDATED, and the cluster frames FORWARD, TOPOLOGY,
 REBALANCE, PING/PONG) are UTF-8 JSON objects; CHUNK payloads are raw
@@ -35,9 +50,14 @@ from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 MAGIC = 0xC5
 VERSION = 1
+#: Header version carrying a 64-bit trace id (request tracing).
+TRACE_VERSION = 2
 
 _HEADER = struct.Struct("!BBBII")
-HEADER_SIZE = _HEADER.size  # 11 bytes
+_TRACE = struct.Struct("!Q")
+HEADER_SIZE = _HEADER.size  # 11 bytes (version 1)
+TRACE_HEADER_SIZE = HEADER_SIZE + _TRACE.size  # 19 bytes (version 2)
+MAX_TRACE_ID = (1 << 64) - 1
 
 #: Hard ceiling on one frame's payload; both sides enforce it so a
 #: corrupt or hostile length field cannot force an 4 GiB allocation.
@@ -93,22 +113,29 @@ class ProtocolError(ValueError):
 
 
 class Frame:
-    """One decoded frame: ``(type, session, payload)``.
+    """One decoded frame: ``(type, session, payload)`` plus ``trace``.
 
     ``payload`` may be ``bytes`` *or* a read-only ``memoryview`` into
     the decoder's fed buffers (the zero-copy path for CHUNK payloads).
     Equality, hashing and :meth:`json` treat both identically; callers
     that must outlive the frame (or concatenate) should ``bytes()`` it.
+    ``trace`` is the 64-bit request trace id (0 for untraced /
+    version-1 frames).
     """
 
-    __slots__ = ("type", "session", "payload")
+    __slots__ = ("type", "session", "payload", "trace")
 
     def __init__(
-        self, ftype: int, session: int, payload: Union[bytes, memoryview] = b""
+        self,
+        ftype: int,
+        session: int,
+        payload: Union[bytes, memoryview] = b"",
+        trace: int = 0,
     ):
         self.type = ftype
         self.session = session
         self.payload = payload
+        self.trace = trace
 
     @property
     def type_name(self) -> str:
@@ -134,10 +161,11 @@ class Frame:
             and self.type == other.type
             and self.session == other.session
             and self.payload == other.payload
+            and self.trace == other.trace
         )
 
     def __hash__(self) -> int:
-        return hash((self.type, self.session, self.payload))
+        return hash((self.type, self.session, self.payload, self.trace))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Frame(%s, session=%d, %d bytes)" % (
@@ -152,6 +180,7 @@ def encode_frame_parts(
     session: int,
     payload: Union[bytes, memoryview] = b"",
     max_payload: int = DEFAULT_MAX_PAYLOAD,
+    trace: int = 0,
 ) -> Tuple[bytes, Union[bytes, memoryview]]:
     """Header and payload as separate buffers (the writev-style form).
 
@@ -159,17 +188,29 @@ def encode_frame_parts(
     the payload into a concatenated frame — with memoryview payloads
     the view bytes go from the source buffer straight to the socket.
     Validation is identical to :func:`encode_frame`.
+
+    ``trace`` 0 emits a version-1 header (byte-identical to the
+    pre-tracing protocol); a nonzero trace id emits a version-2 header
+    carrying it.
     """
     if ftype not in TYPE_NAMES:
         raise ProtocolError("unknown frame type 0x%02x" % ftype)
     if not 0 <= session <= 0xFFFFFFFF:
         raise ProtocolError("session id %d out of range" % session)
+    if not 0 <= trace <= MAX_TRACE_ID:
+        raise ProtocolError("trace id %d out of range" % trace)
     if len(payload) > max_payload:
         raise ProtocolError(
             "payload of %d bytes exceeds the %d-byte frame limit"
             % (len(payload), max_payload)
         )
-    return _HEADER.pack(MAGIC, VERSION, ftype, session, len(payload)), payload
+    if trace:
+        header = _HEADER.pack(
+            MAGIC, TRACE_VERSION, ftype, session, len(payload)
+        ) + _TRACE.pack(trace)
+    else:
+        header = _HEADER.pack(MAGIC, VERSION, ftype, session, len(payload))
+    return header, payload
 
 
 def encode_frame(
@@ -177,10 +218,11 @@ def encode_frame(
     session: int,
     payload: Union[bytes, memoryview] = b"",
     max_payload: int = DEFAULT_MAX_PAYLOAD,
+    trace: int = 0,
 ) -> bytes:
     """Serialize one frame; validates type and payload size."""
     header, payload = encode_frame_parts(
-        ftype, session, payload, max_payload=max_payload
+        ftype, session, payload, max_payload=max_payload, trace=trace
     )
     if not isinstance(payload, bytes):
         payload = bytes(payload)
@@ -192,10 +234,11 @@ def json_frame(
     session: int,
     obj: Dict[str, Any],
     max_payload: int = DEFAULT_MAX_PAYLOAD,
+    trace: int = 0,
 ) -> bytes:
     """Serialize a control frame whose payload is a JSON object."""
     payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    return encode_frame(ftype, session, payload, max_payload=max_payload)
+    return encode_frame(ftype, session, payload, max_payload=max_payload, trace=trace)
 
 
 class FrameDecoder:
@@ -242,10 +285,12 @@ class FrameDecoder:
     def _next_frame(self) -> Optional[Frame]:
         if self._pending < HEADER_SIZE:
             return None
-        magic, version, ftype, session, length = self._peek_header()
+        magic, version, ftype, session, length = _HEADER.unpack(
+            self._peek(HEADER_SIZE)
+        )
         if magic != MAGIC:
             raise self._fail("bad magic byte 0x%02x" % magic)
-        if version != VERSION:
+        if version not in (VERSION, TRACE_VERSION):
             raise self._fail("unsupported protocol version %d" % version)
         if ftype not in TYPE_NAMES:
             raise self._fail("unknown frame type 0x%02x" % ftype)
@@ -254,26 +299,40 @@ class FrameDecoder:
                 "declared payload of %d bytes exceeds the %d-byte frame limit"
                 % (length, self.max_payload)
             )
-        if self._pending < HEADER_SIZE + length:
+        header_size = HEADER_SIZE
+        trace = 0
+        if version == TRACE_VERSION:
+            header_size = TRACE_HEADER_SIZE
+            if self._pending < header_size:
+                return None
+            (trace,) = _TRACE.unpack(
+                self._peek(header_size)[HEADER_SIZE:header_size]
+            )
+        if self._pending < header_size + length:
             return None
-        self._consume(HEADER_SIZE)
-        return Frame(ftype, session, self._take(length))
+        self._consume(header_size)
+        return Frame(ftype, session, self._take(length), trace=trace)
 
-    def _peek_header(self):
-        """Unpack the next header without consuming it."""
+    def _peek(self, size: int) -> bytes:
+        """The next ``size`` buffered bytes, without consuming them.
+
+        Fast path: the head slice covers the request and is returned as
+        an in-place ``memoryview`` (``struct.unpack`` accepts it); a
+        header spanning fed slices (rare, at most 18 joined bytes) is
+        joined into a copy.
+        """
         head = self._chunks[0]
-        if len(head) - self._offset >= HEADER_SIZE:
-            return _HEADER.unpack_from(head, self._offset)
-        # The header spans fed slices (rare, at most 10 joined bytes).
+        if len(head) - self._offset >= size:
+            return memoryview(head)[self._offset : self._offset + size]
         parts = bytearray()
         offset = self._offset
         for chunk in self._chunks:
-            take = min(len(chunk) - offset, HEADER_SIZE - len(parts))
+            take = min(len(chunk) - offset, size - len(parts))
             parts += chunk[offset : offset + take]
             offset = 0
-            if len(parts) == HEADER_SIZE:
+            if len(parts) == size:
                 break
-        return _HEADER.unpack(bytes(parts))
+        return bytes(parts)
 
     def _consume(self, size: int) -> None:
         """Advance past ``size`` already-counted bytes."""

@@ -44,10 +44,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.station import SecureStation, StationError, StationSession
 from repro.metrics import Meter, ThreadSafeMeter
+from repro.obs.registry import BYTE_BUCKETS, MetricsRegistry
+from repro.obs.trace import Tracer, format_trace_id
 from repro.server import protocol
 from repro.server.protocol import (
     BYE,
@@ -122,6 +125,10 @@ class StationServer:
         seal: bool = False,
         allow_updates: bool = True,
         allow_forward: bool = False,
+        slow_ms: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_sink=None,
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -164,6 +171,31 @@ class StationServer:
         self._tasks: set = set()
         # Live connections (for INVALIDATED broadcast on update).
         self._writers: Dict[_Connection, asyncio.StreamWriter] = {}
+        # Observability: one registry + tracer per server.  Traced
+        # requests (nonzero frame trace id) record span trees; the
+        # slow-query log keeps any trace over ``slow_ms``.  The ad-hoc
+        # counter dicts above stay the source of truth — a pull-time
+        # collector mirrors them into the registry only when scraped.
+        self.slow_ms = slow_ms
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(slow_ms=slow_ms, slow_sink=slow_sink)
+        )
+        self._requests_metric = self.registry.counter(
+            "repro_requests_total", "Wire frames handled, by frame type",
+            labelnames=("type",),
+        )
+        self._latency_metric = self.registry.histogram(
+            "repro_request_ms", "Query wall-clock latency in milliseconds"
+        )
+        self._view_bytes_metric = self.registry.histogram(
+            "repro_view_bytes",
+            "Serialized view bytes per query",
+            buckets=BYTE_BUCKETS,
+        )
+        self.registry.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -242,6 +274,7 @@ class StationServer:
         self, frame: Frame, conn: _Connection, writer: asyncio.StreamWriter
     ) -> bool:
         """Handle one frame; returns False to close the connection."""
+        self._requests_metric.labels(type=frame.type_name).inc()
         if frame.type == BYE:
             return False
         if frame.type == PING:
@@ -337,16 +370,19 @@ class StationServer:
         self.server_stats["queries"] += 1
         session = conn.session
 
-        def evaluate():
+        def evaluate(tracer=None, trace=0, parent_span=0):
             return session.stream_view(
                 document_id,
                 query=query,
                 chunk_size=self.chunk_size,
                 seal=self.seal,
+                tracer=tracer,
+                trace=trace,
+                parent_span=parent_span,
             )
 
         return await self._run_query_stream(
-            conn, writer, evaluate, {"document": document_id}
+            conn, writer, evaluate, {"document": document_id}, trace=frame.trace
         )
 
     async def _run_query_stream(
@@ -355,23 +391,69 @@ class StationServer:
         writer: asyncio.StreamWriter,
         evaluate,
         extra_trailer: Dict[str, object],
+        trace: int = 0,
+        ship_spans: bool = False,
     ) -> bool:
         """Shared QUERY/FORWARD-query path: evaluate off-loop, stream
-        the chunks, send the RESULT trailer."""
+        the chunks, send the RESULT trailer.
+
+        ``evaluate`` is called as ``evaluate(tracer, trace, parent)``
+        so the station can hang its pipeline/cache spans under this
+        request's root span.  A nonzero ``trace`` (minted by the client
+        or gateway, carried in the frame header) makes the RESULT
+        trailer echo the id; trace 0 pays for one ``perf_counter`` pair
+        and a histogram observe.  The span *tree* rides the trailer
+        only when ``ship_spans`` is set (FORWARD hops — the gateway
+        needs backend spans to assemble cross-process trees) or when
+        the trace finished slow: serializing every tree on the cached
+        hot path costs more than the 5% tracing budget, and direct
+        clients only consume trees through the slow-query log anyway.
+        """
         loop = asyncio.get_running_loop()
+        tracer = self.tracer
+        started = perf_counter()
+        root = None
+        deferred = False
+        picked_up = started
+        if trace:
+            root = tracer.start(trace, "backend.query", **extra_trailer)
+            # No tree can ride this trailer (direct client, no slow
+            # threshold), so span bookkeeping moves past the send —
+            # off the response's critical path.  Only the timestamps
+            # are captured in-line.
+            deferred = not ship_spans and tracer.slow_ms is None
+
+        def run_evaluate():
+            if root is None:
+                return evaluate()
+            # Backend queueing: the wait between frame dispatch and the
+            # executor thread actually picking the request up.
+            nonlocal picked_up
+            picked_up = perf_counter()
+            if not deferred:
+                tracer.record(trace, "queue", started, picked_up, parent=root.id)
+            return evaluate(tracer, trace, root.id)
+
         try:
-            stream = await loop.run_in_executor(None, evaluate)
+            stream = await loop.run_in_executor(None, run_evaluate)
         except StationError as exc:
+            if trace:
+                tracer.discard(trace)
             message = exc.args[0] if exc.args else str(exc)
             code = E_NO_GRANT if "grant" in message else E_UNKNOWN_DOCUMENT
             await self._send_error(writer, conn, code, message)
             return True  # recoverable: the session may query other documents
         except Exception as exc:
+            if trace:
+                tracer.discard(trace)
             await self._send_error(writer, conn, E_INTERNAL, str(exc))
             return True
 
+        stream_started = perf_counter()
         sent = await self._stream_chunks(stream, conn, writer)
         if sent is None:
+            if trace:
+                tracer.discard(trace)
             return False
         chunks, sent_bytes = sent
         conn.meter.merge(stream.result.meter)
@@ -396,7 +478,52 @@ class StationServer:
             },
         }
         trailer.update(extra_trailer)
-        await self._send(writer, json_frame(RESULT, conn.session_id, trailer))
+        if root is not None:
+            trailer["trace"] = format_trace_id(trace)
+            if not deferred:
+                tracer.record(
+                    trace,
+                    "stream",
+                    stream_started,
+                    perf_counter(),
+                    parent=root.id,
+                    attrs={"chunks": chunks, "bytes": sent_bytes},
+                )
+                tracer.finish(
+                    root,
+                    cached=bool(stream.result.cache_hit),
+                    bytes=stream.payload_bytes,
+                )
+                record = tracer.end_trace(trace, root=root)
+                if record is not None and (ship_spans or record.slow):
+                    # The finished span tree rides the trailer so the
+                    # hop upstream (gateway or client) can graft it
+                    # under its own spans — cross-process assembly.
+                    trailer["spans"] = record.wire_spans()
+        self._latency_metric.observe((perf_counter() - started) * 1000.0)
+        self._view_bytes_metric.observe(stream.payload_bytes)
+        try:
+            await self._send(
+                writer, json_frame(RESULT, conn.session_id, trailer, trace=trace)
+            )
+        finally:
+            if deferred:
+                ended = perf_counter()
+                tracer.record(trace, "queue", started, picked_up, parent=root.id)
+                tracer.record(
+                    trace,
+                    "stream",
+                    stream_started,
+                    ended,
+                    parent=root.id,
+                    attrs={"chunks": chunks, "bytes": sent_bytes},
+                )
+                tracer.finish(
+                    root,
+                    cached=bool(stream.result.cache_hit),
+                    bytes=stream.payload_bytes,
+                )
+                tracer.end_trace(trace, root=root)
         self.server_stats["chunks_streamed"] += chunks
         self.server_stats["bytes_streamed"] += sent_bytes
         return True
@@ -415,7 +542,7 @@ class StationServer:
             )
             return False
         return await self._apply_update(
-            document_id, op, conn.session.subject, conn, writer
+            document_id, op, conn.session.subject, conn, writer, trace=frame.trace
         )
 
     async def _apply_update(
@@ -425,9 +552,18 @@ class StationServer:
         subject: str,
         conn: _Connection,
         writer: asyncio.StreamWriter,
+        trace: int = 0,
+        ship_spans: bool = False,
     ) -> bool:
         """Shared UPDATE/FORWARD-update path: grant check, apply, RESULT."""
+        root = None
+        if trace:
+            root = self.tracer.start(
+                trace, "backend.update", document=document_id, subject=subject
+            )
         if not self.allow_updates:
+            if trace:
+                self.tracer.discard(trace)
             await self._send_error(
                 writer, conn, E_LIMIT, "this server is read-only"
             )
@@ -435,6 +571,8 @@ class StationServer:
         try:
             self.station.document_version(document_id)
         except StationError as exc:
+            if trace:
+                self.tracer.discard(trace)
             message = exc.args[0] if exc.args else str(exc)
             await self._send_error(writer, conn, E_UNKNOWN_DOCUMENT, message)
             return True
@@ -443,6 +581,8 @@ class StationServer:
         # its own policy language, but an ungranted subject must never
         # be able to rewrite a document it cannot even read.
         if not self.station.has_grant(document_id, subject):
+            if trace:
+                self.tracer.discard(trace)
             await self._send_error(
                 writer,
                 conn,
@@ -457,13 +597,19 @@ class StationServer:
                 None, self.station.update, document_id, op
             )
         except StationError as exc:
+            if trace:
+                self.tracer.discard(trace)
             message = exc.args[0] if exc.args else str(exc)
             await self._send_error(writer, conn, E_UNKNOWN_DOCUMENT, message)
             return True
         except UpdateError as exc:
+            if trace:
+                self.tracer.discard(trace)
             await self._send_error(writer, conn, E_UPDATE, str(exc))
             return True
         except Exception as exc:
+            if trace:
+                self.tracer.discard(trace)
             await self._send_error(writer, conn, E_INTERNAL, str(exc))
             return True
         self.server_stats["updates"] += 1
@@ -472,7 +618,20 @@ class StationServer:
             "version": result.version,
             "update": result.as_dict(),
         }
-        await self._send(writer, json_frame(RESULT, conn.session_id, trailer))
+        if root is not None:
+            self.tracer.finish(
+                root,
+                version=result.version,
+                chunks_reencrypted=result.chunks_reencrypted,
+            )
+            record = self.tracer.end_trace(trace, root=root)
+            if record is not None:
+                trailer["trace"] = format_trace_id(trace)
+                if ship_spans or record.slow:
+                    trailer["spans"] = record.wire_spans()
+        await self._send(
+            writer, json_frame(RESULT, conn.session_id, trailer, trace=trace)
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -521,7 +680,13 @@ class StationServer:
                 )
                 return False
             return await self._apply_update(
-                document_id, op, subject, conn, writer
+                document_id,
+                op,
+                subject,
+                conn,
+                writer,
+                trace=frame.trace,
+                ship_spans=True,
             )
         if kind != "query":
             await self._send_error(
@@ -534,11 +699,17 @@ class StationServer:
         # connection, so the cap belongs gateway-side, per end-client.
         self.server_stats["queries"] += 1
 
-        def evaluate():
+        def evaluate(tracer=None, trace=0, parent_span=0):
             # Never link-sealed: the gateway terminates client sessions
             # itself (see the class docstring).
             return self.station.stream(
-                document_id, subject, query=query, chunk_size=self.chunk_size
+                document_id,
+                subject,
+                query=query,
+                chunk_size=self.chunk_size,
+                tracer=tracer,
+                trace=trace,
+                parent_span=parent_span,
             )
 
         return await self._run_query_stream(
@@ -546,6 +717,8 @@ class StationServer:
             writer,
             evaluate,
             {"document": document_id, "subject": subject},
+            trace=frame.trace,
+            ship_spans=True,
         )
 
     async def _on_ping(
@@ -686,9 +859,45 @@ class StationServer:
             "cached_views": self.station.cached_views(),
             "server": dict(self.server_stats),
             "meter": {k: v for k, v in merged.as_dict().items() if v},
+            # Compute-backend health on the wire (not just station-
+            # local): pool fallbacks and native-kernel availability are
+            # how a gateway or `repro top` spots silent serial
+            # degradation on one node.
+            "backend": self.station.backend.describe(),
+            "observability": dict(
+                self.tracer.stats(), slow_log=self.tracer.slow_records()
+            ),
         }
         await self._send(writer, json_frame(STATS, conn.session_id, body))
         return True
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Pull-time mirror of the ad-hoc counters into the registry.
+
+        Runs only when someone scrapes ``/metrics`` (or snapshots the
+        registry), so the serving hot path never pays for it.
+        """
+        for key, value in self.station.stats.as_dict().items():
+            registry.gauge("repro_station_" + key).set(value)
+        for key, value in self.server_stats.items():
+            registry.gauge("repro_server_" + key).set(value)
+        for key, value in self.meter.as_dict().items():
+            registry.gauge("repro_meter_" + key).set(value)
+        registry.gauge("repro_cached_views").set(self.station.cached_views())
+        registry.gauge("repro_cached_plans").set(self.station.cached_plans())
+        backend = self.station.backend.describe()
+        registry.gauge("repro_backend_fallbacks").set(
+            int(backend.get("fallbacks") or 0)
+        )
+        registry.gauge("repro_backend_batches").set(
+            int(backend.get("batches") or 0)
+        )
+        registry.gauge("repro_native_kernels").set(
+            1 if backend.get("native_kernels") else 0
+        )
+        trace_stats = self.tracer.stats()
+        registry.gauge("repro_traces_finished").set(trace_stats["finished"])
+        registry.gauge("repro_slow_queries").set(trace_stats["slow_queries"])
 
     # ------------------------------------------------------------------
     async def _send(self, writer: asyncio.StreamWriter, data: bytes) -> None:
