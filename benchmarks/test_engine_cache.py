@@ -136,3 +136,4 @@ def test_engine_plan_cache_amortizes_compilation(benchmark):
     (REPO_ROOT / "BENCH_engine.json").write_text(
         json.dumps(payload, indent=2, default=str) + "\n"
     )
+    station.close()

@@ -48,3 +48,4 @@ def test_eight_client_load_writes_report():
     loaded = json.loads(out.read_text())
     assert loaded["throughput_rps"] > 0
     assert "p50" in loaded["latency_ms"] and "p95" in loaded["latency_ms"]
+    station.close()

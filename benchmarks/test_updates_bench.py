@@ -91,3 +91,4 @@ def test_replay_defence_on_benchmark_document():
     ]
     with pytest.raises(IntegrityError):
         station.evaluate("hospital", "secretary")
+    station.close()

@@ -396,6 +396,7 @@ def server_load(
         )
     finally:
         thread.stop()
+        station.close()
     latency = report["latency_ms"]
     rows = [
         (
@@ -527,6 +528,7 @@ def updates_experiment(
                 round(latency_ms, 1),
             )
         )
+        station.close()
     # One station takes an edit chain, exercising the version counter
     # end-to-end (every op bumps it by one).  grow-tail is excluded:
     # its path is only valid against the pristine tree.
@@ -543,6 +545,7 @@ def updates_experiment(
         "chained_version": chained.document_version("hospital"),
         "ops": records,
     }
+    chained.close()
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             _json.dump(report, handle, indent=2)
@@ -867,6 +870,7 @@ def hotpath_experiment(
             )
             entry = prune_entries.setdefault(subject, {})
             entry["pruned" if prune else "cold"] = seconds
+        station.close()
     for subject, entry in prune_entries.items():
         station_rows.append(
             {
@@ -903,6 +907,7 @@ def hotpath_experiment(
             "view_hits": station.stats.view_hits,
             "view_misses": station.stats.view_misses,
         }
+        station.close()
     cached_speedup = (
         serving["cached"]["throughput_rps"]
         / serving["uncached"]["throughput_rps"]
@@ -931,6 +936,7 @@ def hotpath_experiment(
         )
     finally:
         thread.stop()
+        station.close()
 
     parallel_speedups = [
         case["speedup"] for case in crypto if case["parallelizable"]

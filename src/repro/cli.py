@@ -8,7 +8,10 @@ Exposes the pipeline end to end::
     python -m repro view     doc.store --key 001122... --rule "+://book" --rule "-://internal" [--query "//book[price < 20]"]
     python -m repro bench    [table1 table2 fig8 fig9 fig10 fig11 fig12 server updates hotpath]
     python -m repro serve    --port 8471 [--hospital 3 | --store doc.store --key ... --rule ... --subject bob]
-    python -m repro cluster  --backends 3 --replicas 2 [--documents 2 --port 8470]
+    python -m repro serve    --port 8471 --store ./station-data --cache-mb 64   # persistent chunk log
+    python -m repro cluster  --backends 3 --replicas 2 [--documents 2 --port 8470] [--store ./cluster-data]
+    python -m repro store    inspect ./station-data [--format json]
+    python -m repro store    compact ./station-data
     python -m repro remote-view 127.0.0.1:8471 hospital --subject secretary [--query ...]
     python -m repro update   127.0.0.1:8471 hospital --subject secretary --kind update-text --path 0,1 --text "new value"
     python -m repro loadgen  127.0.0.1:8471 --clients 8 --queries 5 [--mix "subject[:weight[:query]]" ...]
@@ -20,6 +23,11 @@ The protected store is a self-describing file: one JSON header line
 (scheme name, layout, plaintext size) followed by the raw terminal
 bytes.  The key never appears in the file — it travels via the secure
 channel (see :mod:`repro.soe.provisioning`), or here, the command line.
+
+``--store`` is overloaded for compatibility: an existing regular file
+is the legacy single-document protected store above; anything else is
+treated as a :class:`repro.store.LogStore` directory (created on first
+use) holding the station's whole persistent document set.
 """
 
 from __future__ import annotations
@@ -246,13 +254,22 @@ def _start_metrics(registry, args):
     return metrics_server
 
 
+def _open_store_arg(path: str, cache_mb, sync: str):
+    from repro.store import open_store
+
+    cache_bytes = None if cache_mb is None else int(cache_mb) * 1024 * 1024
+    return open_store(path, cache_bytes=cache_bytes, sync=sync)
+
+
 def cmd_serve(args) -> int:
     import asyncio
+    import os
 
     from repro.engine import SecureStation
     from repro.server.service import StationServer, hospital_station
 
-    if args.store:
+    if args.store and os.path.isfile(args.store):
+        # Legacy single-document protected store file.
         key = _parse_key(args.key)
         prepared = _load_store(args.store, key)
         station = SecureStation(context=args.context, backend=args.backend)
@@ -266,8 +283,14 @@ def cmd_serve(args) -> int:
         station.grant(document_id, policy, subject=subject)
         subjects = [subject]
     else:
+        chunk_store = None
+        if args.store:
+            chunk_store = _open_store_arg(args.store, args.cache_mb, args.sync)
         station, subjects = hospital_station(
-            folders=args.hospital, context=args.context, backend=args.backend
+            folders=args.hospital,
+            context=args.context,
+            backend=args.backend,
+            store=chunk_store,
         )
         document_id = "hospital"
 
@@ -316,6 +339,7 @@ def cmd_serve(args) -> int:
             "cached_plans": station.cached_plans(),
             "cached_views": station.cached_views(),
             "backend": station.backend.describe(),
+            "store": station.store.describe(),
             "server": dict(server.server_stats),
             "meter": {
                 k: v for k, v in server.meter.as_dict().items() if v
@@ -342,6 +366,8 @@ def cmd_cluster(args) -> int:
         gateway_port=args.port,
         slow_ms=args.slow_ms,
         trace=args.trace,
+        store_dir=args.store,
+        cache_mb=args.cache_mb,
     )
     metrics_server = None
     if cluster.gateway is not None:
@@ -386,6 +412,60 @@ def cmd_cluster(args) -> int:
                 file=sys.stderr,
             )
         cluster.stop()
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Offline maintenance of a persistent chunk-store directory."""
+    import os
+
+    from repro.store import LogStore, StoreError
+
+    if not os.path.isdir(args.directory):
+        raise SystemExit("not a store directory: %s" % args.directory)
+    try:
+        store = LogStore(args.directory)
+    except StoreError as exc:
+        raise SystemExit("cannot open store: %s" % exc)
+    try:
+        if args.action == "compact":
+            before = store.describe()
+            stats = store.compact()
+            print(
+                "compacted generation %d -> %d: %d -> %d bytes "
+                "(%d documents, %d bytes reclaimed)"
+                % (
+                    before["generation"],
+                    stats["generation"],
+                    stats["log_bytes_before"],
+                    stats["log_bytes_after"],
+                    stats["documents"],
+                    stats["reclaimed_bytes"],
+                )
+            )
+            return 0
+        description = store.describe()
+        description["document_versions"] = store.versions()
+        if args.format == "json":
+            print(json.dumps(description, indent=2, sort_keys=True))
+            return 0
+        print("store %s (generation %d)" % (args.directory, description["generation"]))
+        for key in (
+            "documents",
+            "log_bytes",
+            "live_bytes",
+            "segments",
+            "manifest_replays",
+            "torn_bytes_dropped",
+            "orphan_records_dropped",
+            "lost_entries_dropped",
+            "compactions",
+        ):
+            print("  %-24s %s" % (key, description.get(key, "-")))
+        for document_id, version in sorted(store.versions().items()):
+            print("  document %-16s v%d" % (document_id, version))
+    finally:
+        store.close()
     return 0
 
 
@@ -640,7 +720,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the generated hospital document with the three "
         "paper profiles (default)",
     )
-    p_serve.add_argument("--store", help="serve a protected store file instead")
+    p_serve.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistence: an existing file is served as a legacy "
+        "protected store; otherwise a chunk-store directory (created "
+        "on first use) that survives restarts",
+    )
+    p_serve.add_argument(
+        "--cache-mb",
+        type=int,
+        metavar="N",
+        help="page-cache budget for a directory --store (default 64)",
+    )
+    p_serve.add_argument(
+        "--sync",
+        choices=["commit", "batch"],
+        default="commit",
+        help="durability for a directory --store: fsync per commit "
+        "(default) or only on flush/close",
+    )
     p_serve.add_argument("--key", help="16-byte hex key for --store")
     p_serve.add_argument(
         "--rule", action="append", help="access rule for --store (repeatable)"
@@ -734,7 +833,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="mint a trace id for every request, even from clients "
         "that did not stamp one",
     )
+    p_cluster.add_argument(
+        "--store",
+        metavar="DIR",
+        help="root directory for per-backend chunk stores; a restarted "
+        "cluster recovers its documents instead of regenerating them",
+    )
+    p_cluster.add_argument(
+        "--cache-mb",
+        type=int,
+        metavar="N",
+        help="per-backend page-cache budget for --store (default 64)",
+    )
     p_cluster.set_defaults(func=cmd_cluster)
+
+    p_store = sub.add_parser(
+        "store", help="inspect or compact a persistent chunk-store directory"
+    )
+    store_sub = p_store.add_subparsers(dest="action", required=True)
+    p_store_inspect = store_sub.add_parser(
+        "inspect", help="print recovery counters and per-document versions"
+    )
+    p_store_inspect.add_argument("directory")
+    p_store_inspect.add_argument(
+        "--format", choices=["table", "json"], default="table"
+    )
+    p_store_inspect.set_defaults(func=cmd_store)
+    p_store_compact = store_sub.add_parser(
+        "compact", help="rewrite live records into a fresh generation"
+    )
+    p_store_compact.add_argument("directory")
+    p_store_compact.set_defaults(func=cmd_store)
 
     p_stats = sub.add_parser(
         "stats", help="one STATS snapshot from a server or gateway"

@@ -1209,6 +1209,7 @@ class ClusterGateway:
                     entry["station"] = stats_body.get("station")
                     compute = dict(stats_body.get("backend") or {})
                     entry["backend"] = compute
+                    entry["store"] = stats_body.get("store")
                     for key in compute_totals:
                         compute_totals[key] += int(compute.get(key) or 0)
                     native_backends += 1 if compute.get("native_kernels") else 0

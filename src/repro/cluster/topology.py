@@ -22,6 +22,7 @@ cluster`` and the one the tests kill backends in are the same code.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -33,6 +34,7 @@ from repro.engine.station import SecureStation, StationError
 from repro.server.client import RemoteSession
 from repro.server.service import ServerThread, StationServer
 from repro.soe.session import PreparedDocument
+from repro.store import open_store
 from repro.xmlkit.dom import Node
 
 
@@ -105,6 +107,8 @@ class StationCluster:
         master_secret: bytes = b"cluster-master-secret",
         slow_ms: Optional[float] = None,
         trace: bool = False,
+        store_dir: Optional[str] = None,
+        cache_mb: Optional[int] = None,
     ):
         self.replicas = replicas
         self.vnodes = vnodes
@@ -114,6 +118,13 @@ class StationCluster:
         self.gateway_port = gateway_port
         self.pool_size = pool_size
         self.chunk_size = chunk_size
+        #: Root directory for per-backend persistent stores: each
+        #: backend gets ``store_dir/<node name>``, so a restarted
+        #: cluster re-serves its corpus (and repair can source chunks
+        #: from a surviving replica's log).  ``None`` keeps every
+        #: backend on the in-memory store.
+        self.store_dir = store_dir
+        self.cache_mb = cache_mb
         #: Observability knobs, applied to the gateway at
         #: :meth:`start_gateway` (the gateway owns the combined
         #: cross-process span tree, so its slow log is the one that
@@ -146,10 +157,21 @@ class StationCluster:
             if name in self.nodes and self.nodes[name].alive:
                 raise ClusterError("backend %r already running" % name)
             self._counter += 1
+        store = None
+        if self.store_dir is not None:
+            store = open_store(
+                os.path.join(self.store_dir, name),
+                cache_bytes=(
+                    self.cache_mb * 1024 * 1024
+                    if self.cache_mb is not None
+                    else None
+                ),
+            )
         station = SecureStation(
             master_secret=self._derive(name),
             context=self.context,
             use_skip_index=self.use_skip_index,
+            store=store,
         )
         server = StationServer(
             station,
@@ -283,7 +305,11 @@ class StationCluster:
         Copies the encrypted document from the most advanced surviving
         replica onto ``node_name``, publishing with ``version_floor``
         so the version chain continues, and re-grants the document's
-        policies there.
+        policies there.  The copy sources chunks from the replica's
+        *store*: ``station.document()`` on a persistent backend is a
+        pager-backed handle, so the target's ``put`` drains chunk
+        records straight out of the survivor's log through its page
+        cache — no caller-side re-publish, no full in-memory copy.
         """
         target = self.nodes.get(node_name)
         if target is None or not target.alive:
@@ -327,6 +353,10 @@ class StationCluster:
             raise ClusterError("backend %r is not running" % name)
         node.thread.stop()
         node.alive = False
+        # Release the station's store (file lock, mmaps) so the same
+        # node name — or another process — can reopen the directory;
+        # the gateway still discovers the death by its failed forward.
+        node.station.close()
         with self._lock:
             self._ring.remove(name)
         return node
@@ -363,6 +393,7 @@ class StationCluster:
             if node.alive:
                 node.thread.stop()
                 node.alive = False
+            node.station.close()  # idempotent; flushes persistent stores
 
     def __enter__(self) -> "StationCluster":
         return self
@@ -393,6 +424,8 @@ def hospital_cluster(
     gateway_port: int = 0,
     slow_ms: Optional[float] = None,
     trace: bool = False,
+    store_dir: Optional[str] = None,
+    cache_mb: Optional[int] = None,
 ) -> Tuple[StationCluster, List[str], List[str]]:
     """A running cluster serving ``documents`` hospital documents.
 
@@ -423,6 +456,8 @@ def hospital_cluster(
         gateway_port=gateway_port,
         slow_ms=slow_ms,
         trace=trace,
+        store_dir=store_dir,
+        cache_mb=cache_mb,
     )
     cluster.start_backends(backends)
     document_ids: List[str] = []
@@ -436,14 +471,30 @@ def hospital_cluster(
             labresults_per_folder=2,
             seed=seed + index,
         )
-        tree = generate_hospital(config)
         doctor = config.doctor_names()[0]
         policies = [
             secretary_policy(),
             doctor_policy(doctor),
             researcher_policy(GROUPS[:3]),
         ]
-        cluster.publish(document_id, tree, policies)
+        placed = cluster._ring.preference(document_id, replicas)
+        if store_dir is not None and placed and all(
+            document_id in cluster.nodes[name].station.store for name in placed
+        ):
+            # Restarted persistent cluster: every preference replica
+            # already holds the document at its pre-restart version —
+            # re-publishing would needlessly bump the version chain.
+            # Grants are derived state and are always re-applied.
+            for name in placed:
+                station = cluster.nodes[name].station
+                for policy in policies:
+                    station.grant(document_id, policy)
+            with cluster._lock:
+                cluster._placement[document_id] = list(placed)
+                cluster._policies[document_id] = list(policies)
+        else:
+            tree = generate_hospital(config)
+            cluster.publish(document_id, tree, policies)
         document_ids.append(document_id)
         if not subjects:
             subjects = [policy.subject for policy in policies]

@@ -74,7 +74,11 @@ class SecureDocument:
         chunk_versions: Optional[List[int]] = None,
     ):
         self.scheme = scheme
-        self.stored = bytearray(stored)  # mutable so tests can tamper
+        if isinstance(stored, (bytes, bytearray, memoryview)):
+            stored = bytearray(stored)  # mutable so tests can tamper
+        # Anything else is a store pager (len + contiguous slicing):
+        # keep it as-is so chunk records page in from disk on demand.
+        self.stored = stored
         self.plaintext_size = plaintext_size
         self.layout = scheme.layout
         self.version = version
@@ -192,6 +196,14 @@ class BaseScheme:
         for record in self._chunk_records(plaintext, range(count), version):
             stored.extend(record)
         return SecureDocument(self, bytes(stored), len(plaintext), version=version)
+
+    def record_stream(self, plaintext: bytes, version: int = 0):
+        """Yield the document's stored chunk records in order, without
+        materializing the concatenated ciphertext — the streaming
+        publish path of a disk store buffers at most one log segment of
+        these at a time."""
+        count = self.layout.chunk_count(len(plaintext))
+        return self._chunk_records(plaintext, range(count), version)
 
     def _chunk_records(self, plaintext: bytes, indexes, version: int):
         """Yield the stored records for ``indexes``, in order.
@@ -586,6 +598,11 @@ class CbcShaDocScheme(BaseScheme):
     def spec(self):
         return None  # chunk records are chained, not independent
 
+    def record_stream(self, plaintext: bytes, version: int = 0):
+        count = self.layout.chunk_count(len(plaintext))
+        previous = make_iv(versioned_position(0, version))
+        return self._iter_records(plaintext, 0, count, version, previous)
+
     def _iter_records(self, plaintext: bytes, first: int, count: int,
                       version: int, previous: bytes):
         """Records for chunks ``[first, count)`` given the chain state
@@ -858,6 +875,38 @@ def _cipher_kind(factory) -> Optional[str]:
             if issubclass(factory, base):
                 return kind
     return None
+
+
+def storage_spec(scheme: BaseScheme):
+    """What a persistent store must record to rebuild ``scheme``:
+    ``(name, key, cipher kind, (chunk, fragment, block, digest) sizes)``.
+
+    The key is the scheme's *cipher* key — the one the chunk records
+    were actually encrypted under — which may differ from the
+    provisioning key a station hands to its store (an externally
+    prepared document arrives with its own encryption key).
+
+    Unlike :meth:`BaseScheme.spec` this works for CBC-SHA-DOC too —
+    record *storage* only needs the scheme reconstructible at load
+    time, not its chunk records independently re-encryptable by a pool
+    worker.  ``None`` when the cipher factory is custom (unknown by
+    name), in which case only the in-memory store can hold it.
+    """
+    kind = _cipher_kind(scheme._cipher_factory)
+    if kind is None:
+        return None
+    layout = scheme.layout
+    return (
+        scheme.name,
+        scheme._key,
+        kind,
+        (
+            layout.chunk_size,
+            layout.fragment_size,
+            layout.block_size,
+            layout.digest_size,
+        ),
+    )
 
 
 def scheme_from_spec(spec) -> BaseScheme:

@@ -137,6 +137,14 @@ class EncryptStage(Stage):
     position/MAC derivation (see :mod:`repro.crypto.modes`); fresh
     publications start at 0 and :meth:`SecureStation.update` bumps it
     per re-encryption.
+
+    With a ``store`` sink (any :class:`~repro.store.ChunkStore`) plus a
+    ``document_id``, the stage publishes *into the store* instead of
+    materializing the ciphertext: a disk store consumes the scheme's
+    chunk-record generator with at most one log segment buffered, so a
+    document larger than RAM flows straight to disk.  ``ctx.prepared``
+    is then the store's served handle (its chunk records read back
+    lazily through the store's page cache).
     """
 
     name = "encrypt"
@@ -148,18 +156,29 @@ class EncryptStage(Stage):
         layout: Optional[ChunkLayout] = None,
         version: int = 0,
         backend=None,
+        store=None,
+        document_id: Optional[str] = None,
     ):
+        if store is not None and document_id is None:
+            raise ValueError("EncryptStage with a store needs a document_id")
         self.scheme = scheme
         self.key = key
         self.layout = layout
         self.version = version
         self.backend = backend
+        self.store = store
+        self.document_id = document_id
 
     def run(self, ctx: PipelineContext) -> None:
         encoded = ctx.require("encoded", self.name)
         scheme = make_scheme(
             self.scheme, key=self.key, layout=self.layout, backend=self.backend
         )
+        if self.store is not None:
+            ctx.prepared = self.store.put_stream(
+                self.document_id, encoded, scheme, self.key, self.version
+            )
+            return
         secure = scheme.protect(encoded.data, version=self.version)
         ctx.prepared = PreparedDocument(encoded, scheme, secure)
 
@@ -330,13 +349,26 @@ class DocumentPipeline:
         context: Union[str, PlatformContext] = "smartcard",
         version: int = 0,
         backend=None,
+        store=None,
+        document_id: Optional[str] = None,
     ) -> "DocumentPipeline":
-        """parse -> encode -> encrypt (the publisher of Fig. 2)."""
+        """parse -> encode -> encrypt (the publisher of Fig. 2).
+
+        ``store``/``document_id`` stream the protected output into a
+        :class:`~repro.store.ChunkStore` instead of process memory."""
         return cls(
             [
                 ParseStage(),
                 EncodeStage(),
-                EncryptStage(scheme, key, layout, version, backend=backend),
+                EncryptStage(
+                    scheme,
+                    key,
+                    layout,
+                    version,
+                    backend=backend,
+                    store=store,
+                    document_id=document_id,
+                ),
             ],
             context=context,
         )

@@ -36,13 +36,15 @@ from repro.accesscontrol.model import Policy
 from repro.accesscontrol.navigation import EventListNavigator
 from repro.compute import ComputeBackend, resolve_backend
 from repro.crypto.chunks import ChunkLayout
-from repro.crypto.integrity import SecureBytes
+from repro.crypto.integrity import SecureBytes, make_scheme
 from repro.crypto.modes import decrypt_positioned, encrypt_positioned, pad_to_block
 from repro.crypto.xtea import Xtea
-from repro.engine.pipeline import DocumentPipeline
+from repro.engine.pipeline import DocumentPipeline, EncodeStage, ParseStage
 from repro.engine.plans import PolicyPlan, compile_policy, policy_digest
 from repro.metrics import Meter
 from repro.skipindex.decoder import SkipIndexNavigator, decode_document
+from repro.skipindex.encoder import EncodedDocument
+from repro.store import ChunkStore, MemoryStore
 from repro.skipindex.updates import (
     UpdateImpact,
     UpdateOp,
@@ -478,6 +480,15 @@ class SecureStation:
         backend produces byte-identical views; only speed differs, and
         the pool backend degrades to the serial in-process path on any
         worker failure.
+    store:
+        Where published documents live: a
+        :class:`~repro.store.ChunkStore` instance, or ``None`` for the
+        in-process :class:`~repro.store.MemoryStore` (the historical
+        behaviour).  A persistent store (:class:`~repro.store.LogStore`)
+        makes the corpus survive process death: on restart the station
+        opened on the same directory serves byte-identical views at the
+        pre-crash versions, replay protection intact.  The station owns
+        the store it is given and closes it in :meth:`close`.
     """
 
     def __init__(
@@ -490,6 +501,7 @@ class SecureStation:
         cache_views: bool = True,
         prune: bool = True,
         backend: Union[None, str, ComputeBackend] = None,
+        store: Optional[ChunkStore] = None,
     ):
         if plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
@@ -503,21 +515,25 @@ class SecureStation:
         self.cache_views = cache_views
         self.prune = prune
         self.backend = resolve_backend(backend)
+        self.store = store if store is not None else MemoryStore()
+        # Disk stores rebuild cipher schemes at manifest-replay time;
+        # binding the backend gets them the accelerated factories.
+        self.store.bind_backend(self.backend)
         self.stats = StationStats()
-        self._documents: Dict[str, Tuple[PreparedDocument, bytes]] = {}
         self._grants: Dict[Tuple[str, str], Policy] = {}
         self._plans: "OrderedDict[Tuple[str, str], PolicyPlan]" = OrderedDict()
         self._views: (
             "OrderedDict[Tuple[str, int, str, str, Optional[str]], _CachedView]"
         ) = OrderedDict()
         self._session_counter = 0
-        self._versions: Dict[str, int] = {}
+        self._closed = False
         self._listeners: List[Callable[[str, int], None]] = []
         # One station serves many server executor threads concurrently:
-        # everything mutable (session counter, plan LRU, document map,
-        # version table, stats) is guarded here.  Evaluation itself
-        # runs outside the lock — published documents are immutable
-        # snapshots (updates swap in a new one copy-on-write).
+        # everything mutable here (session counter, plan LRU, grants,
+        # stats) is guarded by this lock; the document map lives in the
+        # store, which guards itself.  Evaluation runs outside both —
+        # published documents are immutable snapshots (updates swap in
+        # a new one copy-on-write).
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -567,12 +583,27 @@ class SecureStation:
         """
         if key is None:
             key = self._derive_key("document|%s" % document_id)
-        with self._lock:
-            prior = self._versions.get(document_id)
+        prior = self.store.version(document_id)
         next_version = 0 if prior is None else prior + 1
         next_version = max(next_version, version_floor)
+        encoded = None
         if isinstance(document, PreparedDocument):
             prepared = document
+        elif self.store.persistent:
+            # Persistent publish streams: parse + encode here, then the
+            # scheme's record generator flows straight into the store's
+            # log (at most one segment buffered), so a document larger
+            # than RAM publishes without its ciphertext ever
+            # materializing.
+            pipeline = DocumentPipeline(
+                [ParseStage(), EncodeStage()], context=self.platform
+            )
+            if isinstance(document, Node):
+                ctx = pipeline.run(tree=document)
+            else:
+                ctx = pipeline.run(source=document)
+            encoded = ctx.encoded
+            prepared = None
         else:
             pipeline = DocumentPipeline.publisher(
                 scheme=scheme,
@@ -588,15 +619,26 @@ class SecureStation:
                 ctx = pipeline.run(source=document)
             prepared = ctx.prepared
         with self._lock:
-            self._documents[document_id] = (prepared, key)
-            version = max(prepared.secure.version, next_version)
-            self._versions[document_id] = version
+            if encoded is not None:
+                version = next_version
+                served = self.store.put_stream(
+                    document_id,
+                    encoded,
+                    make_scheme(
+                        scheme, key=key, layout=layout, backend=self.backend
+                    ),
+                    key,
+                    version,
+                )
+            else:
+                version = max(prepared.secure.version, next_version)
+                served = self.store.put(document_id, prepared, key, version)
             listeners = list(self._listeners) if prior is not None else []
             if prior is not None:
                 self._invalidate_views(document_id)
         for listener in listeners:
             listener(document_id, version)
-        return prepared
+        return served
 
     def document(self, document_id: str) -> PreparedDocument:
         return self._snapshot(document_id)[0]
@@ -604,39 +646,34 @@ class SecureStation:
     def _snapshot(self, document_id: str) -> Tuple[PreparedDocument, bytes, int]:
         """One atomic read of ``(prepared, key, version)`` — the
         snapshot a request evaluates and the version it reports must
-        come from the same locked read."""
-        with self._lock:
-            try:
-                prepared, key = self._documents[document_id]
-            except KeyError:
-                raise StationError("unknown document %r" % document_id)
-            return prepared, key, self._versions.get(document_id, 0)
+        come from the same read (the store entry is one immutable
+        object, swapped whole on update)."""
+        entry = self.store.get(document_id)
+        if entry is None:
+            raise StationError("unknown document %r" % document_id)
+        return entry.as_tuple()
 
     def document_version(self, document_id: str) -> int:
         """Current update version of a published document (0 initially)."""
-        with self._lock:
-            if document_id not in self._documents:
-                raise StationError("unknown document %r" % document_id)
-            return self._versions.get(document_id, 0)
+        version = self.store.version(document_id)
+        if version is None:
+            raise StationError("unknown document %r" % document_id)
+        return version
 
     def document_versions(self) -> Dict[str, int]:
         """Every published document id with its current version — the
         health-probe payload (PONG) a cluster gateway uses to verify a
         backend is alive *and* its replicas are in version lockstep."""
-        with self._lock:
-            return {
-                document_id: self._versions.get(document_id, 0)
-                for document_id in self._documents
-            }
+        return self.store.versions()
 
     def grant(
         self, document_id: str, policy: Policy, subject: Optional[str] = None
     ) -> None:
         """Attach ``policy`` to ``(document, subject)``; the subject
         defaults to the policy's own."""
+        if document_id not in self.store:
+            raise StationError("unknown document %r" % document_id)
         with self._lock:
-            if document_id not in self._documents:
-                raise StationError("unknown document %r" % document_id)
             subject = policy.subject if subject is None else subject
             self._grants[(document_id, subject)] = policy
 
@@ -734,6 +771,16 @@ class SecureStation:
                     "document %r has no plaintext encoding to update"
                     % document_id
                 )
+            if not isinstance(old_encoded.data, (bytes, bytearray)):
+                # A store-loaded document decrypts its encoding lazily;
+                # the decode/diff below is byte-at-a-time work, so pull
+                # it into plain bytes once up front.
+                old_encoded = EncodedDocument(
+                    bytes(old_encoded.data),
+                    old_encoded.dictionary,
+                    old_encoded.stats,
+                    old_encoded.root_offset,
+                )
             old_tree = decode_document(old_encoded)
             new_tree = op.apply(old_tree)
             new_encoded, dictionary_grew = reencode_after(old_encoded, new_tree)
@@ -759,16 +806,17 @@ class SecureStation:
                 prepared.secure, new_encoded.data, dirty, version
             )
             with self._lock:
-                current = self._documents.get(document_id)
+                current = self.store.get(document_id)
                 if current is None:
                     raise StationError("unknown document %r" % document_id)
-                if current[0] is not prepared:
+                if current.prepared is not prepared:
                     continue  # a concurrent update won; redo on its result
-                self._documents[document_id] = (
+                self.store.apply_update(
+                    document_id,
                     PreparedDocument(new_encoded, prepared.scheme, new_secure),
-                    key,
+                    version,
+                    dirty_chunks=dirty,
                 )
-                self._versions[document_id] = version
                 # Conservative cache coherence: drop compiled plans of
                 # every subject granted on the updated document, so
                 # nothing stale keyed off the old content survives the
@@ -1127,12 +1175,31 @@ class SecureStation:
             events.append(Event(item[0], item[1]))
 
     def close(self) -> None:
-        """Release compute-backend resources (pool workers, if any)."""
+        """Release the compute backend (pool workers, if any) and the
+        document store (log/manifest handles, mmaps).  Idempotent —
+        every owner in a teardown path may call it."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self.backend.close()
+        self.store.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "SecureStation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SecureStation(%d documents, %d grants, %d cached plans)" % (
-            len(self._documents),
+            len(self.store),
             len(self._grants),
             len(self._plans),
         )

@@ -89,6 +89,30 @@ def _latency_cell(latency: Optional[Dict[str, Any]], key: str) -> str:
     return "-" if value is None else "%.1f" % float(value)
 
 
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "K", "M", "G", "T"):
+        if value < 1024.0 or unit == "T":
+            if unit == "B":
+                return "%d%s" % (int(value), unit)
+            return "%.1f%s" % (value, unit)
+        value /= 1024.0
+    return "%dB" % count
+
+
+def _store_cell(store: Optional[Dict[str, Any]]) -> str:
+    """Condense a store ``describe()`` payload into one table cell."""
+    if not store:
+        return "-"
+    if not store.get("persistent"):
+        return "mem"
+    hits = int(store.get("page_hits") or 0)
+    misses = int(store.get("page_misses") or 0)
+    total = hits + misses
+    rate = "-" if total == 0 else "%d%%" % round(100.0 * hits / total)
+    return "log %s %s" % (_human_bytes(int(store.get("log_bytes") or 0)), rate)
+
+
 def _backend_rows(
     body: Dict[str, Any],
     prev: Optional[Dict[str, Any]] = None,
@@ -119,6 +143,7 @@ def _backend_rows(
                 _cache_rate(entry.get("station")),
                 str(backend_info.get("fallbacks", "-")),
                 "-" if native is None else ("yes" if native else "no"),
+                _store_cell(entry.get("store")),
             ]
         )
     return rows
@@ -135,6 +160,7 @@ _BACKEND_HEADERS = (
     "cache%",
     "fallbacks",
     "native",
+    "store",
 )
 
 
@@ -207,6 +233,7 @@ def render_top(
                     "views",
                     "fallbacks",
                     "native",
+                    "store",
                     "slow",
                 ),
                 [
@@ -218,6 +245,7 @@ def render_top(
                         str(body.get("cached_views", "-")),
                         str(backend_info.get("fallbacks", "-")),
                         "-" if native is None else ("yes" if native else "no"),
+                        _store_cell(body.get("store")),
                         str(int(obs.get("slow_queries") or 0)),
                     ]
                 ],

@@ -864,6 +864,10 @@ class StationServer:
             # how a gateway or `repro top` spots silent serial
             # degradation on one node.
             "backend": self.station.backend.describe(),
+            # Storage-layer health: page-cache hit rate, log growth and
+            # recovery counters of the station's chunk store (a memory
+            # store reports just its kind and byte footprint).
+            "store": self.station.store.describe(),
             "observability": dict(
                 self.tracer.stats(), slow_log=self.tracer.slow_records()
             ),
@@ -885,6 +889,28 @@ class StationServer:
             registry.gauge("repro_meter_" + key).set(value)
         registry.gauge("repro_cached_views").set(self.station.cached_views())
         registry.gauge("repro_cached_plans").set(self.station.cached_plans())
+        store = self.station.store.describe()
+        for key in (
+            "documents",
+            "page_hits",
+            "page_misses",
+            "bytes_read",
+            "bytes_written",
+            "log_bytes",
+            "live_bytes",
+            "manifest_replays",
+            "torn_bytes_dropped",
+            "orphan_records_dropped",
+            "commits",
+            "compactions",
+            "cache_used_bytes",
+            "cache_budget_bytes",
+        ):
+            if key in store:
+                registry.gauge("repro_store_" + key).set(int(store[key]))
+        registry.gauge("repro_store_persistent").set(
+            1 if store.get("persistent") else 0
+        )
         backend = self.station.backend.describe()
         registry.gauge("repro_backend_fallbacks").set(
             int(backend.get("fallbacks") or 0)
@@ -1001,6 +1027,7 @@ def hospital_station(
     use_skip_index: bool = True,
     groups: int = 3,
     backend=None,
+    store=None,
 ) -> Tuple[SecureStation, List[str]]:
     """A station serving the Fig. 1 hospital document under the three
     paper profiles; returns ``(station, granted subjects)``.
@@ -1008,6 +1035,12 @@ def hospital_station(
     Shared by ``repro serve``, the load generator's defaults, the
     server benchmark and the end-to-end tests, so they all agree on
     document id (``"hospital"``) and subjects.
+
+    With a persistent ``store`` (see :mod:`repro.store`) that already
+    holds ``"hospital"`` — a restarted station — the document is served
+    as recovered from the log at its pre-restart version instead of
+    being re-generated; grants are derived state and are always
+    re-applied.
     """
     from repro.datasets.hospital import (
         GROUPS,
@@ -1025,11 +1058,15 @@ def hospital_station(
         labresults_per_folder=2,
         seed=seed,
     )
-    tree = generate_hospital(config)
     station = SecureStation(
-        context=context, use_skip_index=use_skip_index, backend=backend
+        context=context,
+        use_skip_index=use_skip_index,
+        backend=backend,
+        store=store,
     )
-    station.publish("hospital", tree)
+    if "hospital" not in station.store:
+        tree = generate_hospital(config)
+        station.publish("hospital", tree)
     doctor = config.doctor_names()[0]
     policies = [
         secretary_policy(),
