@@ -35,8 +35,10 @@ from repro.accesscontrol.evaluator import StreamingEvaluator, evaluate_events
 from repro.engine import (
     DocumentPipeline,
     PolicyPlan,
+    PublishOptions,
     QueryPlan,
     SecureStation,
+    StationConfig,
     compile_policy,
     compile_query,
 )
@@ -79,6 +81,10 @@ __all__ = [
     "compile_query",
     "DocumentPipeline",
     "SecureStation",
+    "StationConfig",
+    "PublishOptions",
+    "open_station",
+    "connect",
     "UpdateOp",
     "__version__",
 ]
@@ -100,3 +106,43 @@ def authorized_view(
     """
     events = list(document.iter_events()) if isinstance(document, Node) else document
     return evaluate_events(events, policy, query=query, with_index=with_index)
+
+
+def open_station(
+    config: Optional[StationConfig] = None, **overrides
+) -> SecureStation:
+    """Open a :class:`SecureStation` from a :class:`StationConfig`.
+
+    The one construction front door: the CLI, the server topology and
+    the benchmarks all route through it, so every station in the system
+    is describable as a config value.  Keyword ``overrides`` win over
+    the config's fields (``open_station(cfg, prune=False)``)::
+
+        station = repro.open_station(repro.StationConfig(context="pc"))
+        station.publish("doc", xml, repro.PublishOptions(index=True))
+    """
+    return SecureStation(config, **overrides)
+
+
+def connect(address: Union[str, tuple], subject: str, **options):
+    """Open a :class:`~repro.server.client.RemoteSession` to a station
+    server at ``address`` — ``"host:port"`` or a ``(host, port)`` pair.
+
+    The client-side half of the unified API: ``options`` pass straight
+    through to :class:`RemoteSession` (``timeout``, ``cache_views``,
+    ``auto_reconnect``, ``trace``...).  Imported lazily so the core
+    library stays importable without the server package.
+    """
+    from repro.server.client import RemoteSession
+
+    if isinstance(address, str):
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ValueError(
+                "address must be 'host:port' or a (host, port) tuple, got %r"
+                % (address,)
+            )
+        host, port = host, int(port_text)
+    else:
+        host, port = address
+    return RemoteSession(host, int(port), subject, **options)

@@ -265,16 +265,19 @@ def cmd_serve(args) -> int:
     import asyncio
     import os
 
-    from repro.engine import SecureStation
+    from repro import open_station
+    from repro.engine import PublishOptions, StationConfig
     from repro.server.service import StationServer, hospital_station
 
     if args.store and os.path.isfile(args.store):
         # Legacy single-document protected store file.
         key = _parse_key(args.key)
         prepared = _load_store(args.store, key)
-        station = SecureStation(context=args.context, backend=args.backend)
+        station = open_station(
+            StationConfig(context=args.context, backend=args.backend)
+        )
         document_id = args.document_id
-        station.publish(document_id, prepared)
+        station.publish(document_id, prepared, PublishOptions(index=args.index))
         rules = _parse_rules(args.rule or [])
         if not rules:
             raise SystemExit("--store serving needs at least one --rule")
@@ -291,6 +294,7 @@ def cmd_serve(args) -> int:
             context=args.context,
             backend=args.backend,
             store=chunk_store,
+            index=args.index,
         )
         document_id = "hospital"
 
@@ -502,10 +506,15 @@ def cmd_stats(args) -> int:
     from repro.server.loadgen import parse_address
 
     host, port = parse_address(args.address)
-    with RemoteSession(
-        host, port, args.subject or "@stats", connect_retry=args.connect_retry
-    ) as session:
-        body = session.stats()
+    try:
+        with RemoteSession(
+            host, port, args.subject or "@stats", connect_retry=args.connect_retry
+        ) as session:
+            body = session.stats()
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            "cannot reach station at %s:%d -- %s" % (host, port, exc)
+        )
     print(render_stats(body, args.format))
     return 0
 
@@ -526,29 +535,36 @@ def cmd_top(args) -> int:
 
     host, port = parse_address(args.address)
     address = "%s:%d" % (host, port)
-    with RemoteSession(
-        host,
-        port,
-        args.subject or "@top",
-        connect_retry=args.connect_retry,
-        auto_reconnect=True,
-    ) as session:
-        previous = None
-        try:
-            while True:
-                body = session.stats()
-                text = render_top(body, previous, args.interval, address)
-                if args.once:
-                    print(text)
-                    return 0
-                # Clear + home, then one frame; plain ANSI keeps this
-                # dependency-free and scrollback-friendly under watch.
-                sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
-                sys.stdout.flush()
-                previous = body
-                time.sleep(args.interval)
-        except KeyboardInterrupt:
-            print()
+    try:
+        with RemoteSession(
+            host,
+            port,
+            args.subject or "@top",
+            connect_retry=args.connect_retry,
+            auto_reconnect=True,
+        ) as session:
+            previous = None
+            try:
+                while True:
+                    body = session.stats()
+                    text = render_top(body, previous, args.interval, address)
+                    if args.once:
+                        print(text)
+                        return 0
+                    # Clear + home, then one frame; plain ANSI keeps this
+                    # dependency-free and scrollback-friendly under watch.
+                    sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+                    sys.stdout.flush()
+                    previous = body
+                    time.sleep(args.interval)
+            except KeyboardInterrupt:
+                print()
+    except (ConnectionError, OSError) as exc:
+        # A dashboard pointed at a dead or unreachable server is an
+        # operator typo, not a crash: one line, non-zero exit.
+        raise SystemExit(
+            "cannot reach station at %s -- %s" % (address, exc)
+        )
     return 0
 
 
@@ -760,6 +776,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--readonly",
         action="store_true",
         help="refuse UPDATE frames (documents stay immutable)",
+    )
+    p_serve.add_argument(
+        "--index",
+        action="store_true",
+        help="build the publish-time structural index so eligible "
+        "queries are served from chunk-range plans",
     )
     p_serve.add_argument(
         "--backend",

@@ -30,7 +30,7 @@ from repro.accesscontrol.model import Policy
 from repro.cluster.gateway import ClusterGateway
 from repro.cluster.ring import HashRing
 from repro.engine.pipeline import DocumentPipeline
-from repro.engine.station import SecureStation, StationError
+from repro.engine.station import SecureStation, StationConfig, StationError
 from repro.server.client import RemoteSession
 from repro.server.service import ServerThread, StationServer
 from repro.soe.session import PreparedDocument
@@ -168,10 +168,12 @@ class StationCluster:
                 ),
             )
         station = SecureStation(
-            master_secret=self._derive(name),
-            context=self.context,
-            use_skip_index=self.use_skip_index,
-            store=store,
+            StationConfig(
+                master_secret=self._derive(name),
+                context=self.context,
+                use_skip_index=self.use_skip_index,
+                store=store,
+            )
         )
         server = StationServer(
             station,

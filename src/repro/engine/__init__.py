@@ -42,7 +42,9 @@ from repro.engine.plans import (
 )
 from repro.engine.station import (
     BatchResult,
+    PublishOptions,
     SecureStation,
+    StationConfig,
     StationError,
     StationSession,
     StationStats,
@@ -75,6 +77,8 @@ __all__ = [
     "SerializeStage",
     # station
     "SecureStation",
+    "StationConfig",
+    "PublishOptions",
     "StationSession",
     "StationStats",
     "StationError",

@@ -33,6 +33,11 @@ from repro.engine.plans import PolicyPlan, QueryPlan, compile_policy
 from repro.metrics import Meter
 from repro.skipindex.decoder import SkipIndexNavigator
 from repro.skipindex.encoder import encode_document
+from repro.skipindex.structural import (
+    IndexedNavigator,
+    StructuralIndex,
+    build_structural_index,
+)
 from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext
 from repro.soe.session import PreparedDocument, delivered_bytes
 from repro.xmlkit.dom import Node
@@ -158,6 +163,7 @@ class EncryptStage(Stage):
         backend=None,
         store=None,
         document_id: Optional[str] = None,
+        index: bool = False,
     ):
         if store is not None and document_id is None:
             raise ValueError("EncryptStage with a store needs a document_id")
@@ -168,32 +174,56 @@ class EncryptStage(Stage):
         self.backend = backend
         self.store = store
         self.document_id = document_id
+        self.index = index
 
     def run(self, ctx: PipelineContext) -> None:
         encoded = ctx.require("encoded", self.name)
         scheme = make_scheme(
             self.scheme, key=self.key, layout=self.layout, backend=self.backend
         )
+        # The structural index walks the *plaintext* encoding, so it is
+        # built here — publish time, before the bytes are protected.
+        index = build_structural_index(encoded) if self.index else None
         if self.store is not None:
             ctx.prepared = self.store.put_stream(
-                self.document_id, encoded, scheme, self.key, self.version
+                self.document_id, encoded, scheme, self.key, self.version,
+                index=index,
             )
             return
         secure = scheme.protect(encoded.data, version=self.version)
-        ctx.prepared = PreparedDocument(encoded, scheme, secure)
+        ctx.prepared = PreparedDocument(encoded, scheme, secure, index=index)
 
 
 class DecryptStreamStage(Stage):
-    """Protected store -> decrypting, integrity-checking navigator."""
+    """Protected store -> decrypting, integrity-checking navigator.
+
+    With a :class:`~repro.skipindex.structural.StructuralIndex` the
+    navigator replays structure from the index and touches the
+    ciphertext only for text payloads and captures — identical events,
+    strictly fewer chunks decrypted."""
 
     name = "stream-decrypt"
 
-    def __init__(self, use_skip_index: bool = True):
+    def __init__(
+        self,
+        use_skip_index: bool = True,
+        index: Optional[StructuralIndex] = None,
+    ):
         self.use_skip_index = use_skip_index
+        self.index = index
 
     def run(self, ctx: PipelineContext) -> None:
         prepared = ctx.require("prepared", self.name)
         reader = prepared.scheme.reader(prepared.secure, ctx.meter)
+        if self.index is not None:
+            ctx.navigator = IndexedNavigator(
+                SecureBytes(reader),
+                self.index,
+                prepared.encoded.dictionary,
+                meter=ctx.meter,
+                provide_meta=self.use_skip_index,
+            )
+            return
         ctx.navigator = SkipIndexNavigator(
             SecureBytes(reader),
             dictionary=prepared.encoded.dictionary,
@@ -351,11 +381,13 @@ class DocumentPipeline:
         backend=None,
         store=None,
         document_id: Optional[str] = None,
+        index: bool = False,
     ) -> "DocumentPipeline":
         """parse -> encode -> encrypt (the publisher of Fig. 2).
 
         ``store``/``document_id`` stream the protected output into a
-        :class:`~repro.store.ChunkStore` instead of process memory."""
+        :class:`~repro.store.ChunkStore` instead of process memory;
+        ``index=True`` builds the structural index over the encoding."""
         return cls(
             [
                 ParseStage(),
@@ -368,6 +400,7 @@ class DocumentPipeline:
                     backend=backend,
                     store=store,
                     document_id=document_id,
+                    index=index,
                 ),
             ],
             context=context,
@@ -383,10 +416,11 @@ class DocumentPipeline:
         serialize: bool = False,
         context: Union[str, PlatformContext] = "smartcard",
         prune: bool = False,
+        index: Optional[StructuralIndex] = None,
     ) -> "DocumentPipeline":
         """stream-decrypt -> evaluate [-> integrity-check] [-> serialize]."""
         stages: List[Stage] = [
-            DecryptStreamStage(use_skip_index),
+            DecryptStreamStage(use_skip_index, index=index),
             EvaluateStage(plan, query, use_skip_index, prune=prune),
         ]
         if integrity_audit:

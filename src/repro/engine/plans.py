@@ -28,9 +28,30 @@ from collections import OrderedDict
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
 from repro.accesscontrol.model import AccessRule, Policy
-from repro.xpath.ast import Path
+from repro.xpath.ast import SELF, WILDCARD, Path
 from repro.xpath.nfa import Automaton, compile_path
 from repro.xpath.parser import parse_xpath
+
+
+def structural_steps(path: Path) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """``((axis, tag), ...)`` when every step names a concrete tag.
+
+    This is the index-eligibility test of the structural accelerator: a
+    path whose navigation has no wildcard ambiguity (``*``/``.``)
+    resolves to pre/post range predicates over the publish-time index.
+    Predicates are allowed — the index answers a *superset* and the
+    evaluator still decides membership — so only the node tests gate
+    eligibility.  Returns ``None`` for wildcard/self steps or relative
+    paths (the evaluator anchors those differently).
+    """
+    if not path.absolute or not path.steps:
+        return None
+    steps = []
+    for step in path.steps:
+        if step.test in (WILDCARD, SELF):
+            return None
+        steps.append((step.axis, step.test))
+    return tuple(steps)
 
 
 def policy_digest(policy: Policy) -> str:
@@ -66,7 +87,7 @@ class QueryPlan:
     many distinct queries without recompiling the policy.
     """
 
-    __slots__ = ("path", "automaton", "subject", "trigger_labels")
+    __slots__ = ("path", "automaton", "subject", "trigger_labels", "structural")
 
     def __init__(self, path: Path, automaton: Automaton, subject: str = ""):
         self.path = path
@@ -76,6 +97,11 @@ class QueryPlan:
         #: (None when a wildcard makes every label a trigger) — feeds
         #: the evaluator's skip-pruned replay.
         self.trigger_labels = path.trigger_labels()
+        #: ``(axis, tag)`` pairs when the path is free of wildcard
+        #: ambiguity — the structural index resolves such a plan to
+        #: candidate chunk ranges before any decryption (None: the plan
+        #: is not index-eligible and the station streams).
+        self.structural = structural_steps(path)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "QueryPlan(%s)" % self.path

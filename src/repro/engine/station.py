@@ -24,10 +24,12 @@ multi-client generalization the ROADMAP's production framing needs:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import hmac
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -44,12 +46,14 @@ from repro.engine.plans import PolicyPlan, compile_policy, policy_digest
 from repro.metrics import Meter
 from repro.skipindex.decoder import SkipIndexNavigator, decode_document
 from repro.skipindex.encoder import EncodedDocument
+from repro.skipindex.structural import build_structural_index
 from repro.store import ChunkStore, MemoryStore
 from repro.skipindex.updates import (
     UpdateImpact,
     UpdateOp,
     impact_between,
     reencode_after,
+    refresh_structural_index,
 )
 from repro.soe.costmodel import CONTEXTS, CostModel, PlatformContext
 from repro.soe.session import PreparedDocument, SessionResult, delivered_bytes
@@ -115,6 +119,14 @@ class StationStats:
         "batch_failures",
         "updates",
         "chunks_reencrypted",
+        "indexed_requests",
+        "streamed_requests",
+        "index_early_exits",
+        "index_stale",
+        "index_rebuilds",
+        "index_incrementals",
+        "index_planned_chunks",
+        "index_chunks_total",
     )
 
     def __init__(self):
@@ -259,15 +271,18 @@ class _CachedView:
     resealing.
     """
 
-    __slots__ = ("events", "meter", "breakdown", "payload")
+    __slots__ = ("events", "meter", "breakdown", "payload", "indexed")
 
-    def __init__(self, events, meter: Meter, breakdown):
+    def __init__(self, events, meter: Meter, breakdown, indexed: bool = False):
         # A tuple, deliberately: the entry must survive callers mutating
         # the event list a miss or hit handed them.
         self.events = tuple(events)
         self.meter = meter
         self.breakdown = breakdown
         self.payload: Optional[bytes] = None
+        # Whether the original evaluation went through the structural
+        # index; hits replay the flag so trailers stay truthful.
+        self.indexed = indexed
 
 
 class SubjectFailure:
@@ -448,6 +463,62 @@ class UpdateResult:
         )
 
 
+# Sentinel distinguishing "argument not passed" from any real value in
+# the StationConfig/PublishOptions back-compat shims below.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class StationConfig:
+    """Every construction-time knob of a :class:`SecureStation`.
+
+    The frozen-dataclass form of the station's keyword soup: build one
+    once (or take the defaults), hand it to :func:`repro.open_station`
+    or ``SecureStation(config)``, and derive variants with
+    :meth:`replace` — configs are immutable, hashable and comparable,
+    so tests and topologies can share them freely.  Every field matches
+    the historical ``SecureStation.__init__`` keyword of the same name;
+    keyword overrides passed alongside a config win over its fields.
+    """
+
+    master_secret: bytes = field(default=b"station-master-secret", repr=False)
+    context: Union[str, PlatformContext] = "smartcard"
+    plan_cache_size: int = 32
+    use_skip_index: bool = True
+    view_cache_size: int = 128
+    cache_views: bool = True
+    prune: bool = True
+    backend: Union[None, str, ComputeBackend] = None
+    store: Optional[ChunkStore] = None
+
+    def replace(self, **changes) -> "StationConfig":
+        """A copy with ``changes`` applied (frozen-dataclass idiom)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class PublishOptions:
+    """Every per-document knob of :meth:`SecureStation.publish`.
+
+    ``index=True`` builds the publish-time structural pre/post index
+    (:mod:`repro.skipindex.structural`) over the plaintext encoding and
+    ships it with the document through stores, updates and cluster
+    repair; eligible queries are then served from chunk-range plans
+    instead of a full streaming pass.  Off by default — the index
+    costs one plaintext walk at publish and a blob beside the chunks.
+    """
+
+    scheme: str = "ECB-MHT"
+    key: Optional[bytes] = None
+    layout: Optional[ChunkLayout] = None
+    version_floor: int = 0
+    index: bool = False
+
+    def replace(self, **changes) -> "PublishOptions":
+        """A copy with ``changes`` applied (frozen-dataclass idiom)."""
+        return dataclasses.replace(self, **changes)
+
+
 class SecureStation:
     """Multi-client SOE facade: documents, grants, plan cache, batches.
 
@@ -493,29 +564,62 @@ class SecureStation:
 
     def __init__(
         self,
-        master_secret: bytes = b"station-master-secret",
-        context: Union[str, PlatformContext] = "smartcard",
-        plan_cache_size: int = 32,
-        use_skip_index: bool = True,
-        view_cache_size: int = 128,
-        cache_views: bool = True,
-        prune: bool = True,
-        backend: Union[None, str, ComputeBackend] = None,
-        store: Optional[ChunkStore] = None,
+        config: Union[StationConfig, bytes, None] = None,
+        context=_UNSET,
+        plan_cache_size=_UNSET,
+        use_skip_index=_UNSET,
+        view_cache_size=_UNSET,
+        cache_views=_UNSET,
+        prune=_UNSET,
+        backend=_UNSET,
+        store=_UNSET,
+        master_secret=_UNSET,
     ):
-        if plan_cache_size < 1:
+        # Back-compat shim: the first positional slot historically held
+        # ``master_secret`` (bytes); it now also accepts a
+        # :class:`StationConfig`.  Explicit keywords override config
+        # fields, so ``SecureStation(cfg, prune=False)`` works.
+        if isinstance(config, StationConfig):
+            base = config
+        elif config is None:
+            base = StationConfig()
+        else:
+            if master_secret is not _UNSET:
+                raise TypeError("master_secret passed twice")
+            base = StationConfig()
+            master_secret = config
+        overrides = {
+            name: value
+            for name, value in (
+                ("master_secret", master_secret),
+                ("context", context),
+                ("plan_cache_size", plan_cache_size),
+                ("use_skip_index", use_skip_index),
+                ("view_cache_size", view_cache_size),
+                ("cache_views", cache_views),
+                ("prune", prune),
+                ("backend", backend),
+                ("store", store),
+            )
+            if value is not _UNSET
+        }
+        cfg = base.replace(**overrides) if overrides else base
+        if cfg.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
-        if view_cache_size < 1:
+        if cfg.view_cache_size < 1:
             raise ValueError("view_cache_size must be >= 1")
-        self._secret = master_secret
-        self.platform = CONTEXTS[context] if isinstance(context, str) else context
-        self.use_skip_index = use_skip_index
-        self.plan_cache_size = plan_cache_size
-        self.view_cache_size = view_cache_size
-        self.cache_views = cache_views
-        self.prune = prune
-        self.backend = resolve_backend(backend)
-        self.store = store if store is not None else MemoryStore()
+        self.config = cfg
+        self._secret = cfg.master_secret
+        self.platform = (
+            CONTEXTS[cfg.context] if isinstance(cfg.context, str) else cfg.context
+        )
+        self.use_skip_index = cfg.use_skip_index
+        self.plan_cache_size = cfg.plan_cache_size
+        self.view_cache_size = cfg.view_cache_size
+        self.cache_views = cfg.cache_views
+        self.prune = cfg.prune
+        self.backend = resolve_backend(cfg.backend)
+        self.store = cfg.store if cfg.store is not None else MemoryStore()
         # Disk stores rebuild cipher schemes at manifest-replay time;
         # binding the backend gets them the accelerated factories.
         self.store.bind_backend(self.backend)
@@ -552,13 +656,23 @@ class SecureStation:
         self,
         document_id: str,
         document: Union[str, Node, PreparedDocument],
-        scheme: str = "ECB-MHT",
-        key: Optional[bytes] = None,
-        layout: Optional[ChunkLayout] = None,
-        version_floor: int = 0,
+        options: Union[PublishOptions, str, None] = None,
+        key=_UNSET,
+        layout=_UNSET,
+        version_floor=_UNSET,
+        scheme=_UNSET,
+        index=_UNSET,
     ) -> PreparedDocument:
         """Register a document: parse/encode/encrypt it (publisher
         pipeline) unless an already-:class:`PreparedDocument` is given.
+
+        ``options`` is a :class:`PublishOptions`; the historical
+        keywords (``scheme``, ``key``, ``layout``, ``version_floor``,
+        plus the new ``index``) still work and override its fields, and
+        a plain string in the third positional slot is read as the
+        legacy ``scheme`` argument.  ``index=True`` builds (or, for a
+        :class:`PreparedDocument` arriving without one, backfills) the
+        structural pre/post index served by the indexed query path.
 
         Re-publishing an existing id continues its version chain: the
         new store is encrypted one version above anything this station
@@ -581,14 +695,46 @@ class SecureStation:
         version chain — and with it replay protection — survives the
         move to the new node.
         """
+        if isinstance(options, str):
+            if scheme is not _UNSET:
+                raise TypeError("scheme passed twice")
+            scheme = options
+            options = None
+        base = options if options is not None else PublishOptions()
+        option_overrides = {
+            name: value
+            for name, value in (
+                ("scheme", scheme),
+                ("key", key),
+                ("layout", layout),
+                ("version_floor", version_floor),
+                ("index", index),
+            )
+            if value is not _UNSET
+        }
+        opts = base.replace(**option_overrides) if option_overrides else base
+        scheme, key, layout = opts.scheme, opts.key, opts.layout
+        version_floor = opts.version_floor
         if key is None:
             key = self._derive_key("document|%s" % document_id)
         prior = self.store.version(document_id)
         next_version = 0 if prior is None else prior + 1
         next_version = max(next_version, version_floor)
         encoded = None
+        structural = None
         if isinstance(document, PreparedDocument):
             prepared = document
+            if opts.index and prepared.index is None:
+                # Backfill: an external publisher (or a cluster repair
+                # copying from an unindexed replica) may hand over bytes
+                # without an index — build it from the encoding so the
+                # served document is indexed either way.
+                prepared = PreparedDocument(
+                    prepared.encoded,
+                    prepared.scheme,
+                    prepared.secure,
+                    index=build_structural_index(prepared.encoded),
+                )
         elif self.store.persistent:
             # Persistent publish streams: parse + encode here, then the
             # scheme's record generator flows straight into the store's
@@ -603,6 +749,8 @@ class SecureStation:
             else:
                 ctx = pipeline.run(source=document)
             encoded = ctx.encoded
+            if opts.index:
+                structural = build_structural_index(encoded)
             prepared = None
         else:
             pipeline = DocumentPipeline.publisher(
@@ -612,6 +760,7 @@ class SecureStation:
                 context=self.platform,
                 version=next_version,
                 backend=self.backend,
+                index=opts.index,
             )
             if isinstance(document, Node):
                 ctx = pipeline.run(tree=document)
@@ -629,6 +778,7 @@ class SecureStation:
                     ),
                     key,
                     version,
+                    index=structural,
                 )
             else:
                 version = max(prepared.secure.version, next_version)
@@ -805,6 +955,17 @@ class SecureStation:
             new_secure, reencrypted = prepared.scheme.reencrypt(
                 prepared.secure, new_encoded.data, dirty, version
             )
+            # Keep an indexed document indexed across the edit: reuse
+            # the old index when the change stayed inside text payloads
+            # (offsets unmoved), rebuild on anything structural.  Runs
+            # outside the lock like the rest of the heavy pipeline.
+            old_index = getattr(prepared, "index", None)
+            new_index = None
+            index_mode = None
+            if old_index is not None:
+                new_index, index_mode = refresh_structural_index(
+                    old_index, new_encoded, impact
+                )
             with self._lock:
                 current = self.store.get(document_id)
                 if current is None:
@@ -813,10 +974,16 @@ class SecureStation:
                     continue  # a concurrent update won; redo on its result
                 self.store.apply_update(
                     document_id,
-                    PreparedDocument(new_encoded, prepared.scheme, new_secure),
+                    PreparedDocument(
+                        new_encoded, prepared.scheme, new_secure, index=new_index
+                    ),
                     version,
                     dirty_chunks=dirty,
                 )
+                if index_mode == "incremental":
+                    self.stats.index_incrementals += 1
+                elif index_mode == "rebuild":
+                    self.stats.index_rebuilds += 1
                 # Conservative cache coherence: drop compiled plans of
                 # every subject granted on the updated document, so
                 # nothing stale keyed off the old content survives the
@@ -922,6 +1089,7 @@ class SecureStation:
                 result.document_version = version
                 result.cache_hit = True
                 result.cache_entry = entry
+                result.indexed = entry.indexed
                 if traced:
                     tracer.record(
                         trace,
@@ -934,20 +1102,78 @@ class SecureStation:
                 return result
         with self._lock:
             self.stats.requests += 1
-        pipeline = DocumentPipeline.consumer(
-            plan,
-            query=query_plan,
-            use_skip_index=self.use_skip_index,
-            context=self.platform,
-            prune=self.prune,
+        # ---- structural-index serving decision -----------------------
+        # Eligible iff the document shipped an index that is fresh
+        # against the served snapshot and the query compiled to a
+        # wildcard-free structural path.  Anything else streams — the
+        # streaming evaluator is the oracle the indexed path must match
+        # byte for byte, and the universal fallback.
+        index = getattr(prepared, "index", None)
+        serve_indexed = (
+            self.use_skip_index
+            and index is not None
+            and query_plan is not None
+            and query_plan.structural is not None
         )
-        ctx = pipeline.run(prepared=prepared)
-        if traced:
+        if serve_indexed and not index.matches_document(prepared.encoded):
+            serve_indexed = False
+            with self._lock:
+                self.stats.index_stale += 1
+        ctx = None
+        if serve_indexed:
+            layout = prepared.scheme.layout
+            total_chunks = layout.chunk_count(len(prepared.encoded.data))
+            candidates = index.match(
+                query_plan.structural, prepared.encoded.dictionary
+            )
+            if not candidates:
+                # The structural superset is empty: no element matches
+                # the query's path, so the view is provably empty before
+                # a single chunk is transferred or decrypted.
+                meter = Meter()
+                breakdown = CostModel(self.platform).breakdown(meter)
+                view: List[Event] = []
+                with self._lock:
+                    self.stats.indexed_requests += 1
+                    self.stats.index_early_exits += 1
+                    self.stats.index_chunks_total += total_chunks
+            else:
+                planned = index.planned_chunks(candidates, layout)
+                with self._lock:
+                    self.stats.indexed_requests += 1
+                    self.stats.index_planned_chunks += len(planned)
+                    self.stats.index_chunks_total += total_chunks
+                pipeline = DocumentPipeline.consumer(
+                    plan,
+                    query=query_plan,
+                    use_skip_index=self.use_skip_index,
+                    context=self.platform,
+                    prune=self.prune,
+                    index=index,
+                )
+                ctx = pipeline.run(prepared=prepared)
+                view, meter, breakdown = ctx.view, ctx.meter, ctx.breakdown
+        else:
+            with self._lock:
+                self.stats.streamed_requests += 1
+            pipeline = DocumentPipeline.consumer(
+                plan,
+                query=query_plan,
+                use_skip_index=self.use_skip_index,
+                context=self.platform,
+                prune=self.prune,
+            )
+            ctx = pipeline.run(prepared=prepared)
+            view, meter, breakdown = ctx.view, ctx.meter, ctx.breakdown
+        if traced and ctx is not None:
             self._record_pipeline_spans(tracer, trace, parent_span, ctx)
-        result = SessionResult(ctx.view, ctx.meter, ctx.breakdown, self.platform)
+        result = SessionResult(view, meter, breakdown, self.platform)
         result.document_version = version
+        result.indexed = serve_indexed
         if cache_key is not None:
-            entry = _CachedView(ctx.view, ctx.meter.copy(), ctx.breakdown)
+            entry = _CachedView(
+                view, meter.copy(), breakdown, indexed=serve_indexed
+            )
             result.cache_entry = entry
             with self._lock:
                 self._views[cache_key] = entry

@@ -100,6 +100,13 @@ class RemoteResult:
         return int(self.trailer.get("chunks", 0))
 
     @property
+    def served(self) -> str:
+        """How the station produced the view: ``"indexed"`` when a
+        structural chunk-range plan drove the decryption, otherwise
+        ``"streamed"`` (older servers omit the field; assume streamed)."""
+        return str(self.trailer.get("served", "streamed"))
+
+    @property
     def trace_id(self) -> str:
         """Hex trace id echoed by the server ("" when untraced)."""
         return str(self.trailer.get("trace", ""))

@@ -468,6 +468,12 @@ class StationServer:
             # what lets clients and the load generator report honest
             # hit rates.
             "cached": bool(stream.result.cache_hit),
+            # Which serving path produced the view: "indexed" when the
+            # structural index resolved the query to chunk-range plans
+            # (or proved it empty), "streamed" for the full pass.  Both
+            # paths return byte-identical views; the flag is for
+            # operators verifying the accelerator actually engaged.
+            "served": "indexed" if stream.result.indexed else "streamed",
             # Stamped by the station atomically with the snapshot this
             # request evaluated — an update landing mid-evaluation
             # leaves the request on the pre-update snapshot *and* the
@@ -881,8 +887,17 @@ class StationServer:
         Runs only when someone scrapes ``/metrics`` (or snapshots the
         registry), so the serving hot path never pays for it.
         """
-        for key, value in self.station.stats.as_dict().items():
+        station_stats = self.station.stats.as_dict()
+        for key, value in station_stats.items():
             registry.gauge("repro_station_" + key).set(value)
+        # The structural-index counters again under their own prefix,
+        # so dashboards can select the accelerator family in one match.
+        for key, value in station_stats.items():
+            if key.startswith("index_") or key in (
+                "indexed_requests",
+                "streamed_requests",
+            ):
+                registry.gauge("repro_index_" + key).set(value)
         for key, value in self.server_stats.items():
             registry.gauge("repro_server_" + key).set(value)
         for key, value in self.meter.as_dict().items():
@@ -1028,6 +1043,7 @@ def hospital_station(
     groups: int = 3,
     backend=None,
     store=None,
+    index: bool = False,
 ) -> Tuple[SecureStation, List[str]]:
     """A station serving the Fig. 1 hospital document under the three
     paper profiles; returns ``(station, granted subjects)``.
@@ -1058,15 +1074,19 @@ def hospital_station(
         labresults_per_folder=2,
         seed=seed,
     )
+    from repro.engine import PublishOptions, StationConfig
+
     station = SecureStation(
-        context=context,
-        use_skip_index=use_skip_index,
-        backend=backend,
-        store=store,
+        StationConfig(
+            context=context,
+            use_skip_index=use_skip_index,
+            backend=backend,
+            store=store,
+        )
     )
     if "hospital" not in station.store:
         tree = generate_hospital(config)
-        station.publish("hospital", tree)
+        station.publish("hospital", tree, PublishOptions(index=index))
     doctor = config.doctor_names()[0]
     policies = [
         secretary_policy(),

@@ -21,7 +21,10 @@ Modules:
   :class:`~repro.skipindex.decoder.SkipIndexNavigator` feeding the
   evaluator with events, metadata and physical skips;
 * :mod:`repro.skipindex.variants` — the NC, TC, TCS and TCSB encodings
-  compared against TCSBR in Fig. 8.
+  compared against TCSBR in Fig. 8;
+* :mod:`repro.skipindex.structural` — the publish-time pre/post
+  structural index and the :class:`~repro.skipindex.structural.
+  IndexedNavigator` that serves queries without decrypting structure.
 """
 
 from repro.skipindex.encoder import EncodedDocument, encode_document
@@ -29,6 +32,13 @@ from repro.skipindex.decoder import (
     SkipIndexNavigator,
     decode_document,
     iter_decoded_events,
+)
+from repro.skipindex.structural import (
+    IndexedNavigator,
+    StructuralIndex,
+    StructuralIndexError,
+    build_structural_index,
+    parse_structural_index,
 )
 from repro.skipindex.variants import (
     encoding_report,
@@ -44,6 +54,11 @@ __all__ = [
     "decode_document",
     "iter_decoded_events",
     "SkipIndexNavigator",
+    "IndexedNavigator",
+    "StructuralIndex",
+    "StructuralIndexError",
+    "build_structural_index",
+    "parse_structural_index",
     "encoding_report",
     "size_nc",
     "size_tc",

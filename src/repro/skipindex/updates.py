@@ -416,3 +416,36 @@ def _subtree_sizes(tree: Node) -> dict:
 
     visit(tree, ())
     return sizes
+
+
+def refresh_structural_index(
+    old_index,
+    new_encoded: EncodedDocument,
+    impact: UpdateImpact,
+):
+    """Maintain the structural index across one committed update.
+
+    Returns ``(index, mode)`` with ``mode`` one of ``"incremental"``
+    (the old index is reused verbatim) or ``"rebuild"`` (a fresh
+    crypto-free walk of the new plaintext encoding).
+
+    The incremental case is exactly the non-cascading edit: the encoded
+    size is unchanged and every changed byte range lies wholly inside a
+    text payload, so no tag code, TagArray bitmap, SubtreeSize field or
+    item boundary moved — the old item table still describes the new
+    bytes.  Anything else rebuilds: a size change dirties ancestor
+    SubtreeSize fields up to the root (and ``_diff_ranges`` charges the
+    whole shifted tail), and the paper's worst cases (dictionary growth,
+    size-width jump) re-encode wholesale.
+    """
+    from repro.skipindex.structural import build_structural_index
+
+    if (
+        old_index is not None
+        and not impact.is_worst_case
+        and impact.new_size == impact.old_size
+        and old_index.total_size == impact.old_size
+        and old_index.ranges_only_touch_text(impact.changed_ranges)
+    ):
+        return old_index, "incremental"
+    return build_structural_index(new_encoded), "rebuild"

@@ -35,17 +35,25 @@ from repro.xpath.ast import Path
 
 
 class PreparedDocument:
-    """Publisher output: the encoded document + its protected form."""
+    """Publisher output: the encoded document + its protected form.
+
+    ``index`` optionally carries the publish-time
+    :class:`~repro.skipindex.structural.StructuralIndex`; it travels
+    with the document through stores, updates and cluster repair so an
+    indexed document stays indexed wherever its chunks go.
+    """
 
     def __init__(
         self,
         encoded: EncodedDocument,
         scheme: BaseScheme,
         secure: SecureDocument,
+        index=None,
     ):
         self.encoded = encoded
         self.scheme = scheme
         self.secure = secure
+        self.index = index
 
     @property
     def encoded_size(self) -> int:
@@ -67,12 +75,22 @@ def prepare_document(
     scheme: str = "ECB-MHT",
     key: bytes = b"\x00" * 16,
     layout: Optional[ChunkLayout] = None,
+    index: bool = False,
 ) -> PreparedDocument:
-    """Encode ``tree`` with the Skip index and protect it for storage."""
+    """Encode ``tree`` with the Skip index and protect it for storage.
+
+    ``index=True`` additionally builds the structural pre/post index
+    over the plaintext encoding (see :mod:`repro.skipindex.structural`).
+    """
     encoded = encode_document(tree)
     scheme_obj = make_scheme(scheme, key=key, layout=layout)
     secure = scheme_obj.protect(encoded.data)
-    return PreparedDocument(encoded, scheme_obj, secure)
+    structural = None
+    if index:
+        from repro.skipindex.structural import build_structural_index
+
+        structural = build_structural_index(encoded)
+    return PreparedDocument(encoded, scheme_obj, secure, index=structural)
 
 
 def delivered_bytes(events: List[Event]) -> int:
@@ -119,6 +137,10 @@ class SessionResult:
         self.context = context
         self.document_version: Optional[int] = None
         self.cache_hit = False
+        #: True when the station served this result through the
+        #: structural index (indexed navigation or a provably-empty
+        #: early exit) instead of full streaming.
+        self.indexed = False
         #: Station-internal: the view-cache entry backing this result
         #: (lets :meth:`SecureStation.stream` reuse the serialized
         #: payload).  ``None`` outside the station path.

@@ -82,18 +82,24 @@ class ChunkStore:
         scheme,
         key: bytes,
         version: int,
+        index=None,
     ) -> PreparedDocument:
         """Publish straight from the scheme's record generator.
 
         The default materializes (``scheme.protect``) and delegates to
         :meth:`put`; a disk store overrides it to stream chunk records
         into its log without ever holding the whole ciphertext.
+        ``index`` is the document's optional structural index; stores
+        persist it alongside the chunks.
         """
         from repro.soe.session import PreparedDocument as _Prepared
 
         secure = scheme.protect(encoded.data, version=version)
         return self.put(
-            document_id, _Prepared(encoded, scheme, secure), key, version
+            document_id,
+            _Prepared(encoded, scheme, secure, index=index),
+            key,
+            version,
         )
 
     def apply_update(
@@ -265,4 +271,6 @@ def _detach(prepared: PreparedDocument) -> PreparedDocument:
         encoded = EncodedDocument(
             bytes(data), encoded.dictionary, encoded.stats, encoded.root_offset
         )
-    return PreparedDocument(encoded, prepared.secure.scheme, secure)
+    return PreparedDocument(
+        encoded, prepared.secure.scheme, secure, index=prepared.index
+    )

@@ -72,12 +72,21 @@ from repro.crypto.integrity import (
 )
 from repro.metrics import Meter
 from repro.skipindex.encoder import EncodedDocument, EncodingStats
+from repro.skipindex.structural import (
+    StructuralIndexError,
+    parse_structural_index,
+)
 from repro.soe.session import PreparedDocument
 from repro.store.base import ChunkStore, StoreError, StoredDocument
 from repro.xmlkit.dictionary import TagDictionary
 
 MAGIC = b"RPCL"
 _HEADER = struct.Struct(">4sII")  # magic, body length, crc32(body)
+#: ``first_record`` sentinel marking a segment that carries a document's
+#: structural-index blob instead of chunk records.  Readers never
+#: interpret it — the manifest's ``ix`` span points straight at the
+#: payload — but the sentinel keeps log dumps self-describing.
+INDEX_RECORD = 0xFFFFFFFF
 #: Cap on one segment record's chunk-record payload; a large publish is
 #: split into many segments, which bounds both the page-cache entry
 #: size and the streaming-publish write buffer.
@@ -137,11 +146,19 @@ class _DocState:
         "tags",
         "stats",
         "runs",
+        "index_span",
+        "index_cache",
         "handle",
     )
 
     def __init__(self):
         self.handle: Optional[StoredDocument] = None
+        #: ``(payload_offset, length)`` of the structural-index blob in
+        #: the *current* generation's log, or ``None`` (unindexed).
+        self.index_span: Optional[Tuple[int, int]] = None
+        #: Parsed :class:`~repro.skipindex.structural.StructuralIndex`
+        #: (lazy; generation-independent plain data).
+        self.index_cache = None
 
 
 class LazyPlaintext:
@@ -328,6 +345,7 @@ class LogStore(ChunkStore):
             "torn_bytes_dropped": 0,
             "orphan_records_dropped": 0,
             "lost_entries_dropped": 0,
+            "index_blobs_dropped": 0,
             "compactions": 0,
         }
         os.makedirs(self.directory, exist_ok=True)
@@ -540,6 +558,15 @@ class LogStore(ChunkStore):
                 # under sync="batch" crashes): the entry is unusable.
                 self.counters["lost_entries_dropped"] += 1
                 return None
+        span = entry.get("ix")
+        if span:
+            offset, length = int(span[0]), int(span[1])
+            if offset + length <= self._log_size:
+                state.index_span = (offset, length)
+            else:
+                # The blob did not survive the crash; the document still
+                # serves — unindexed — from its intact chunk records.
+                self.counters["index_blobs_dropped"] += 1
         return state
 
     @staticmethod
@@ -729,6 +756,11 @@ class LogStore(ChunkStore):
                 "tags": state.tags,
                 "stats": list(state.stats),
                 "runs": [list(run) for run in state.runs],
+                **(
+                    {"ix": list(state.index_span)}
+                    if state.index_span is not None
+                    else {}
+                ),
                 "tail": self._log_size,
             },
             separators=(",", ":"),
@@ -782,7 +814,21 @@ class LogStore(ChunkStore):
             stats.dictionary_bytes,
             stats.fixpoint_rounds,
         )
+        state.index_cache = prepared.index
         return state
+
+    def _append_index_blob(self, state: _DocState) -> None:
+        """Append the document's structural-index blob (if any) as its
+        own log segment and point ``state.index_span`` at it.  Called
+        before :meth:`_commit`, so the manifest line never references an
+        un-fsynced blob."""
+        if state.index_cache is None:
+            return
+        blob = state.index_cache.to_bytes()
+        offset = self._append_segment(
+            state.document_id, state.version, INDEX_RECORD, blob
+        )
+        state.index_span = (offset, len(blob))
 
     def put(
         self,
@@ -826,6 +872,7 @@ class LogStore(ChunkStore):
                 records,
                 record_size,
             )
+            self._append_index_blob(state)
             self._commit(state)
             self._states[document_id] = state
             # Leave the handle cache cold: a bulk load (bench corpus,
@@ -843,6 +890,7 @@ class LogStore(ChunkStore):
         scheme,
         key: bytes,
         version: int,
+        index=None,
     ) -> PreparedDocument:
         """Streaming publish: records flow generator -> log, bounded by
         one segment's buffer — the full ciphertext never exists in RAM
@@ -850,7 +898,7 @@ class LogStore(ChunkStore):
         shell = SecureDocument(
             scheme, b"", len(encoded.data), version=version
         )
-        prepared = PreparedDocument(encoded, scheme, shell)
+        prepared = PreparedDocument(encoded, scheme, shell, index=index)
         return self.put_records(
             document_id,
             prepared,
@@ -923,6 +971,11 @@ class LogStore(ChunkStore):
                     index = ordered_changed[first + position]
                     _extend_run(runs, index, offset + position * record_size)
             state.runs = _coalesce_runs(runs, record_size)
+            # The index describes plaintext offsets, which updates do
+            # not relocate retroactively: re-append the (possibly
+            # refreshed, possibly reused) blob so the newest manifest
+            # entry always owns a live span.
+            self._append_index_blob(state)
             self._commit(state)
             self._states[document_id] = state
             state.handle = None
@@ -981,7 +1034,19 @@ class LogStore(ChunkStore):
             state.plaintext_size,
         )
         encoded = EncodedDocument(data, dictionary, stats, state.root_offset)
-        prepared = PreparedDocument(encoded, scheme, secure)
+        index = state.index_cache
+        if index is None and state.index_span is not None:
+            try:
+                index = parse_structural_index(
+                    self._read_span(self._generation, *state.index_span)
+                )
+                state.index_cache = index
+            except (StructuralIndexError, IntegrityError, StoreError):
+                # A damaged blob only costs the acceleration, never the
+                # document: null the span so we stop retrying.
+                state.index_span = None
+                self.counters["index_blobs_dropped"] += 1
+        prepared = PreparedDocument(encoded, scheme, secure, index=index)
         state.handle = StoredDocument(prepared, state.key, state.version)
         return state.handle
 
@@ -1039,7 +1104,16 @@ class LogStore(ChunkStore):
                 pager = ChunkPager(
                     self, state.runs, record_size, chunk_count * record_size
                 )
-                materialized.append((state, record_size, bytes(pager)))
+                # Index blobs must cross the generation too; read them
+                # while the old generation is still the live one.
+                blob = None
+                if state.index_cache is not None:
+                    blob = state.index_cache.to_bytes()
+                elif state.index_span is not None:
+                    blob = self._read_span(
+                        self._generation, *state.index_span
+                    )
+                materialized.append((state, record_size, bytes(pager), blob))
             self._generation = new_generation
             self._segments = []
             self._segment_offsets = []
@@ -1052,12 +1126,15 @@ class LogStore(ChunkStore):
             self._map_size = 0
             self._log = open(self._chunk_path(new_generation), "a+b")
             self._manifest = open(self._manifest_path(new_generation), "a+b")
-            for state, record_size, stored in materialized:
+            for state, record_size, stored, blob in materialized:
                 fresh = _DocState()
                 for field in _DocState.__slots__:
                     if field != "handle":
                         setattr(fresh, field, getattr(state, field))
                 fresh.handle = None
+                # The old generation's blob offset is meaningless here;
+                # re-append the blob into the new log.
+                fresh.index_span = None
                 fresh.runs = self._append_records(
                     state.document_id,
                     state.version,
@@ -1065,6 +1142,14 @@ class LogStore(ChunkStore):
                     _iter_record_bytes(stored, record_size),
                     record_size,
                 )
+                if blob is not None:
+                    offset = self._append_segment(
+                        state.document_id,
+                        state.version,
+                        INDEX_RECORD,
+                        blob,
+                    )
+                    fresh.index_span = (offset, len(blob))
                 self._commit(fresh)
                 self._states[state.document_id] = fresh
             self.flush()

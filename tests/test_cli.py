@@ -128,3 +128,35 @@ class TestProtectView:
         )
         out = capsys.readouterr().out
         assert "<cost>5</cost>" in out
+
+
+class TestOperatorErrorPaths:
+    """`repro store` / `repro stats` / `repro top` against broken targets
+    must exit with a one-line diagnostic, never a raw traceback."""
+
+    def test_store_inspect_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(["store", "inspect", str(tmp_path / "nowhere")])
+        assert "not a store directory" in str(info.value)
+
+    def test_store_inspect_locked_directory(self, tmp_path):
+        from repro.store import LogStore
+
+        directory = str(tmp_path / "held")
+        holder = LogStore(directory)
+        try:
+            with pytest.raises(SystemExit) as info:
+                main(["store", "inspect", directory])
+        finally:
+            holder.close()
+        assert "cannot open store" in str(info.value)
+
+    def test_stats_unreachable_server(self):
+        with pytest.raises(SystemExit) as info:
+            main(["stats", "127.0.0.1:1", "--connect-retry", "0"])
+        assert "cannot reach station at 127.0.0.1:1" in str(info.value)
+
+    def test_top_unreachable_server(self):
+        with pytest.raises(SystemExit) as info:
+            main(["top", "127.0.0.1:1", "--once", "--connect-retry", "0"])
+        assert "cannot reach station at 127.0.0.1:1" in str(info.value)
